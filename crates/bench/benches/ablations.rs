@@ -1,0 +1,40 @@
+//! Per-update cost of each decision rule in the detector bank — the
+//! computational side of the CUSUM-vs-baselines comparison (the accuracy
+//! side lives in `repro ablate-detectors`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use syndog::change::{ChangeDetector, EwmaChart, ParametricCusum, ShewhartChart, SlidingZTest};
+use syndog::NonParametricCusum;
+
+fn bench_bank(c: &mut Criterion) {
+    let inputs: Vec<f64> = (0..1024)
+        .map(|i| 0.05 + 0.3 * ((i % 13) as f64 / 13.0))
+        .collect();
+    let mut group = c.benchmark_group("detector_bank_1024_updates");
+    let mut run = |name: &str, detector: Box<dyn ChangeDetector>| {
+        let mut detector = detector;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                detector.reset();
+                for &x in &inputs {
+                    black_box(detector.update(black_box(x)));
+                }
+            })
+        });
+    };
+    run(
+        "nonparametric_cusum",
+        Box::new(NonParametricCusum::new(0.35, 1.05)),
+    );
+    run(
+        "parametric_cusum",
+        Box::new(ParametricCusum::new(0.05, 0.7, 0.2, 5.0)),
+    );
+    run("ewma_chart", Box::new(EwmaChart::new(0.3, 0.42)));
+    run("shewhart_chart", Box::new(ShewhartChart::new(0.75)));
+    run("sliding_z_test", Box::new(SlidingZTest::new(3, 14.0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_bank);
+criterion_main!(benches);

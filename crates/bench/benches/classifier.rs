@@ -1,0 +1,57 @@
+//! Throughput of the §2 packet classifier — the per-packet cost a leaf
+//! router pays. Compares the flag-offset fast path against a full header
+//! decode to quantify what the paper's "low computation overhead" buys.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use syndog_net::packet::{Packet, PacketBuilder};
+use syndog_net::{classify, TcpFlags};
+
+fn frames() -> Vec<Vec<u8>> {
+    let src = "10.1.2.3:1025".parse().unwrap();
+    let dst = "192.0.2.80:80".parse().unwrap();
+    vec![
+        PacketBuilder::tcp_syn(src, dst).build().unwrap(),
+        PacketBuilder::tcp_syn_ack(dst, src).build().unwrap(),
+        PacketBuilder::tcp(src, dst, TcpFlags::ACK)
+            .payload(vec![0u8; 512])
+            .build()
+            .unwrap(),
+        PacketBuilder::tcp(src, dst, TcpFlags::PSH | TcpFlags::ACK)
+            .payload(vec![0u8; 1400])
+            .build()
+            .unwrap(),
+        PacketBuilder::non_tcp(
+            "10.1.2.3".parse().unwrap(),
+            "192.0.2.80".parse().unwrap(),
+            17,
+        )
+        .payload(vec![0u8; 100])
+        .build()
+        .unwrap(),
+    ]
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let frames = frames();
+    let total_bytes: usize = frames.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("classifier");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("classify_fast_path", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                let _ = black_box(classify(black_box(frame)));
+            }
+        })
+    });
+    group.bench_function("full_packet_decode", |b| {
+        b.iter(|| {
+            for frame in &frames {
+                let _ = black_box(Packet::decode(black_box(frame)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifier);
+criterion_main!(benches);

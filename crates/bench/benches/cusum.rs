@@ -1,0 +1,36 @@
+//! Cost of the detection math itself: one CUSUM update, one K̄ update, one
+//! full per-period observation. The paper's agent does this once per 20 s,
+//! so anything under a microsecond is 7+ orders of magnitude of headroom.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use syndog::{NonParametricCusum, PeriodCounts, SynAckEstimator, SynDogConfig, SynDogDetector};
+
+fn bench_cusum(c: &mut Criterion) {
+    c.bench_function("cusum_update", |b| {
+        let mut cusum = NonParametricCusum::new(0.35, 1.05);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.1) % 0.4;
+            black_box(cusum.update(black_box(x)))
+        })
+    });
+    c.bench_function("k_estimator_update", |b| {
+        let mut k = SynAckEstimator::new(0.9);
+        let mut v = 2000.0;
+        b.iter(|| {
+            v = 2000.0 + (v % 97.0);
+            black_box(k.update(black_box(v)))
+        })
+    });
+    c.bench_function("detector_observe_period", |b| {
+        let mut dog = SynDogDetector::new(SynDogConfig::paper_default());
+        let mut syn = 2100u64;
+        b.iter(|| {
+            syn = 2050 + (syn % 100);
+            black_box(dog.observe(black_box(PeriodCounts { syn, synack: 2080 })))
+        })
+    });
+}
+
+criterion_group!(benches, bench_cusum);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end pipeline throughput: a full generated site trace pushed
+//! through the leaf router (classification, period slicing) and detector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use syndog::SynDogConfig;
+use syndog_router::SynDogAgent;
+use syndog_sim::SimRng;
+use syndog_traffic::SiteProfile;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let site = SiteProfile::auckland();
+    let mut rng = SimRng::seed_from_u64(1);
+    let trace = site.generate_trace(&mut rng);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("agent_run_trace_auckland", |b| {
+        b.iter(|| {
+            let mut agent = SynDogAgent::new(site.stub(), SynDogConfig::paper_default());
+            black_box(agent.run_trace(black_box(&trace)))
+        })
+    });
+    group.bench_function("trace_period_counts", |b| {
+        b.iter(|| black_box(trace.period_counts(syndog_traffic::sites::OBSERVATION_PERIOD)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Serialization costs: pcap export/import and the compact binary trace
+//! format, over a realistic flood trace.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use syndog_attack::SynFlood;
+use syndog_sim::{SimDuration, SimRng, SimTime};
+use syndog_traffic::Trace;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(2);
+    let flood = SynFlood::constant(
+        200.0,
+        SimTime::ZERO,
+        SimDuration::from_secs(60),
+        "192.0.2.80:80".parse().unwrap(),
+    );
+    let trace = flood.generate_trace(&mut rng);
+    let mut pcap_bytes = Vec::new();
+    trace.write_pcap(&mut pcap_bytes).unwrap();
+    let mut bin_bytes = Vec::new();
+    trace.write_binary(&mut bin_bytes).unwrap();
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(30);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("pcap_write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(pcap_bytes.len());
+            trace.write_pcap(black_box(&mut out)).unwrap();
+            black_box(out)
+        })
+    });
+    group.bench_function("pcap_read", |b| {
+        let stub = "10.0.0.0/8".parse().unwrap();
+        b.iter(|| black_box(Trace::read_pcap(black_box(pcap_bytes.as_slice()), stub).unwrap()))
+    });
+    group.bench_function("binary_write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bin_bytes.len());
+            trace.write_binary(black_box(&mut out)).unwrap();
+            black_box(out)
+        })
+    });
+    group.bench_function("binary_read", |b| {
+        b.iter(|| black_box(Trace::read_binary(black_box(bin_bytes.as_slice())).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Traffic-generation throughput: how fast the calibrated sites and the
+//! arrival models produce workload (matters for the 50-trial sweeps).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use syndog_sim::{SimDuration, SimRng};
+use syndog_traffic::arrival::{ArrivalModel, MmppArrivals, ParetoOnOffArrivals, PoissonArrivals};
+use syndog_traffic::SiteProfile;
+
+fn bench_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic_gen");
+    group.sample_size(10);
+    group.bench_function("unc_period_counts", |b| {
+        let site = SiteProfile::unc();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            black_box(site.generate_period_counts(&mut rng))
+        })
+    });
+    group.bench_function("auckland_full_trace", |b| {
+        let site = SiteProfile::auckland();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::seed_from_u64(seed);
+            black_box(site.generate_trace(&mut rng))
+        })
+    });
+    let duration = SimDuration::from_secs(600);
+    group.bench_function("poisson_arrivals_600s", |b| {
+        let model = PoissonArrivals::new(100.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        b.iter(|| black_box(model.generate(duration, &mut rng)))
+    });
+    group.bench_function("mmpp_arrivals_600s", |b| {
+        let model = MmppArrivals::bursty(88.0, 2.0, 120.0, 30.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        b.iter(|| black_box(model.generate(duration, &mut rng)))
+    });
+    group.bench_function("pareto_onoff_arrivals_600s", |b| {
+        let model = ParetoOnOffArrivals::new(25, 1.0, 2.0, 8.0, 1.3);
+        let mut rng = SimRng::seed_from_u64(5);
+        b.iter(|| black_box(model.generate(duration, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_traffic);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Plain-text table rendering and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes `content` under the `results/` directory (created on demand),
+/// returning the path written.
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment output is the product; losing it
+/// silently would be worse.
+pub fn write_result(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write result file");
+    path
+}
+
+/// Formats an `Option<f64>` for table cells.
+pub fn opt_f64(value: Option<f64>, precision: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = TextTable::new(&["fi", "P", "T"]);
+        t.row(vec!["37".into(), "0.80".into(), "19.8".into()]);
+        t.row(vec!["120".into(), "1.00".into(), "1".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("fi"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Cells right-align within columns.
+        assert!(lines[2].starts_with(" 37"));
+        assert_eq!(t.to_csv().lines().next().unwrap(), "fi,P,T");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn opt_formatting() {
+        assert_eq!(opt_f64(Some(1.2345), 2), "1.23");
+        assert_eq!(opt_f64(None, 2), "-");
+    }
+}

@@ -1,0 +1,422 @@
+//! `syndog` — command-line front end for the SYN-dog reproduction.
+//!
+//! ```text
+//! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
+//! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
+//! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose]
+//! syndog locate   --in FILE --stub CIDR
+//! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
+//! ```
+//!
+//! Trace files use the pcap format when the name ends in `.pcap`, the
+//! compact binary trace format otherwise. `detect` and `locate` run the
+//! same agent pipeline the experiments use.
+
+use std::net::SocketAddrV4;
+use std::process::ExitCode;
+
+use syndog::{theory, SynDogConfig};
+use syndog_attack::SynFlood;
+use syndog_net::Ipv4Net;
+use syndog_router::{SourceLocator, SynDogAgent};
+use syndog_sim::{SimDuration, SimRng, SimTime};
+use syndog_traffic::{SiteProfile, Trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "inject" => cmd_inject(rest),
+        "detect" => cmd_detect(rest),
+        "locate" => cmd_locate(rest),
+        "theory" => cmd_theory(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command: {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
+  syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
+  syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose]
+  syndog locate   --in FILE --stub CIDR
+  syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
+
+FILE format: pcap when the name ends in .pcap, binary trace otherwise.";
+
+/// Minimal `--flag value` / `--switch` argument map.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {arg}"));
+            };
+            if switches.contains(&name) {
+                pairs.push((name.to_string(), None));
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                pairs.push((name.to_string(), Some(value.clone())));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn parse_value<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid --{name}: {raw}")),
+        }
+    }
+}
+
+fn site_by_name(name: &str) -> Result<SiteProfile, String> {
+    match name.to_lowercase().as_str() {
+        "lbl" => Ok(SiteProfile::lbl()),
+        "harvard" => Ok(SiteProfile::harvard()),
+        "unc" => Ok(SiteProfile::unc()),
+        "auckland" => Ok(SiteProfile::auckland()),
+        other => Err(format!(
+            "unknown site: {other} (lbl, harvard, unc, auckland)"
+        )),
+    }
+}
+
+fn write_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    if path.ends_with(".pcap") {
+        trace
+            .write_pcap(&mut writer)
+            .map_err(|e| format!("write {path}: {e}"))
+    } else {
+        trace
+            .write_binary(&mut writer)
+            .map_err(|e| format!("write {path}: {e}"))
+    }
+}
+
+fn read_trace(path: &str, stub: Ipv4Net) -> Result<Trace, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    if path.ends_with(".pcap") {
+        Trace::read_pcap(reader, stub).map_err(|e| format!("read {path}: {e}"))
+    } else {
+        Trace::read_binary(reader).map_err(|e| format!("read {path}: {e}"))
+    }
+}
+
+fn stub_flag(flags: &Flags) -> Result<Ipv4Net, String> {
+    flags
+        .require("stub")?
+        .parse()
+        .map_err(|_| "invalid --stub CIDR (e.g. 152.2.0.0/16)".to_string())
+}
+
+fn victim() -> SocketAddrV4 {
+    "199.0.0.80:80".parse().expect("static address")
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let site = site_by_name(flags.require("site")?)?;
+    let seed: u64 = flags.parse_value("seed", 1)?;
+    let out = flags.require("out")?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let trace = site.generate_trace(&mut rng);
+    write_trace(&trace, out)?;
+    println!(
+        "generated {} ({} records, {:.0} s, stub {})",
+        out,
+        trace.len(),
+        trace.duration().as_secs_f64(),
+        site.stub()
+    );
+    Ok(())
+}
+
+fn cmd_inject(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let input = flags.require("in")?;
+    let out = flags.require("out")?;
+    let rate: f64 = flags.parse_value("rate", 50.0)?;
+    let start: f64 = flags.parse_value("start", 300.0)?;
+    let duration: f64 = flags.parse_value("duration", 600.0)?;
+    let seed: u64 = flags.parse_value("seed", 1)?;
+    // Direction tags are stored in binary traces; pcap import needs the
+    // stub prefix to infer them.
+    let stub: Ipv4Net = match flags.get("stub") {
+        Some(raw) => raw.parse().map_err(|_| "invalid --stub".to_string())?,
+        None if input.ends_with(".pcap") => {
+            return Err("pcap input requires --stub to infer directions".into())
+        }
+        None => "0.0.0.0/32".parse().expect("static prefix"),
+    };
+    let mut trace = read_trace(input, stub)?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let flood = SynFlood::constant(
+        rate,
+        SimTime::from_secs_f64(start),
+        SimDuration::from_secs_f64(duration),
+        victim(),
+    );
+    let flood_trace = flood.generate_trace(&mut rng);
+    trace.merge(&flood_trace);
+    write_trace(&trace, out)?;
+    println!(
+        "injected {} flood SYNs ({rate}/s from t={start}s for {duration}s) into {out}",
+        flood_trace.len()
+    );
+    Ok(())
+}
+
+fn detect_config(flags: &Flags) -> Result<SynDogConfig, String> {
+    let config = if flags.has("tuned") {
+        SynDogConfig::tuned_site_specific()
+    } else {
+        SynDogConfig::paper_default()
+    };
+    let t0: f64 = flags.parse_value("t0", config.observation_period_secs)?;
+    if t0 <= 0.0 {
+        return Err("--t0 must be positive".into());
+    }
+    Ok(config.with_observation_period_secs(t0))
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["tuned", "verbose"])?;
+    let stub = stub_flag(&flags)?;
+    let trace = read_trace(flags.require("in")?, stub)?;
+    let config = detect_config(&flags)?;
+    let mut agent = SynDogAgent::new(stub, config);
+    agent.run_trace(&trace);
+    if flags.has("verbose") {
+        println!("period       delta        K         X_n        y_n  alarm");
+        for d in agent.detections() {
+            println!(
+                "{:>6}  {:>10.0}  {:>8.1}  {:>9.4}  {:>9.4}  {}",
+                d.period,
+                d.delta,
+                d.k_average,
+                d.x,
+                d.statistic,
+                if d.alarm { "ALARM" } else { "" }
+            );
+        }
+    }
+    println!(
+        "{} periods, K = {}, max y_n = {:.4}, threshold N = {}",
+        agent.detections().len(),
+        agent
+            .detector()
+            .k_average()
+            .map(|k| format!("{k:.1}"))
+            .unwrap_or_else(|| "-".into()),
+        agent
+            .detections()
+            .iter()
+            .map(|d| d.statistic)
+            .fold(0.0f64, f64::max),
+        config.threshold,
+    );
+    match agent.first_alarm() {
+        Some(alarm) => {
+            println!(
+                "FLOODING DETECTED at period {} (t = {:.0} s), y = {:.3}",
+                alarm.period,
+                alarm.time.as_secs_f64(),
+                alarm.statistic
+            );
+            println!("{} alarm periods total", agent.alarms().len());
+        }
+        None => println!("no flooding detected"),
+    }
+    Ok(())
+}
+
+fn cmd_locate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let stub = stub_flag(&flags)?;
+    let trace = read_trace(flags.require("in")?, stub)?;
+    let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
+    let mut locator = SourceLocator::new(stub);
+    for record in trace.records() {
+        agent.observe_record(record);
+        if !locator.is_armed() && agent.first_alarm().is_some() {
+            locator.arm();
+            println!(
+                "alarm at period {} — arming per-MAC accounting",
+                agent.first_alarm().expect("just checked").period
+            );
+        }
+        locator.observe(record);
+    }
+    if !locator.is_armed() {
+        println!("no flooding detected; nothing to locate");
+        return Ok(());
+    }
+    let suspects = locator.suspects();
+    if suspects.is_empty() {
+        println!("alarm raised but no spoofed-source SYNs observed afterwards");
+        return Ok(());
+    }
+    println!("suspects (by spoofed-SYN count):");
+    for suspect in suspects.iter().take(5) {
+        println!(
+            "  {}  {:>8} spoofed SYNs  ({:.1}%)",
+            suspect.mac,
+            suspect.spoofed_syns,
+            suspect.share * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_theory(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let k: f64 = flags
+        .require("k")?
+        .parse()
+        .map_err(|_| "invalid --k".to_string())?;
+    let a: f64 = flags.parse_value("a", 0.35)?;
+    let c: f64 = flags.parse_value("c", 0.0)?;
+    let t0: f64 = flags.parse_value("t0", 20.0)?;
+    let total_rate: f64 = flags.parse_value("total-rate", 14_000.0)?;
+    let f_min = theory::min_detectable_rate(a, c, k, t0);
+    println!("parameters: a = {a}, c = {c}, K = {k}/period, t0 = {t0} s");
+    println!("f_min (Eq. 8)          = {f_min:.2} SYN/s");
+    let h = 2.0 * a;
+    match theory::threshold_for_delay(3.0, h, c, a) {
+        Some(n) => println!("N for 3-period delay   = {n:.2} (h = 2a = {h})"),
+        None => println!("N for 3-period delay   = undefined (h <= |c - a|)"),
+    }
+    match theory::max_hidden_stub_networks(total_rate, f_min) {
+        Some(stubs) => {
+            println!("max hidden stubs       = {stubs} at aggregate V = {total_rate} SYN/s")
+        }
+        None => println!("max hidden stubs       = unbounded (f_min = 0)"),
+    }
+    let config = SynDogConfig::paper_default()
+        .with_offset(a)
+        .with_observation_period_secs(t0);
+    for rate_multiplier in [1.2, 2.0, 4.0] {
+        let rate = f_min * rate_multiplier;
+        match theory::expected_delay_periods(&config, rate, k, c) {
+            Some(delay) => println!(
+                "expected delay at {rate:>8.2} SYN/s ({rate_multiplier}x f_min) = {delay:.1} periods"
+            ),
+            None => println!("expected delay at {rate:>8.2} SYN/s = not detectable"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let flags = Flags::parse(
+            &args(&["--in", "a.bin", "--tuned", "--rate", "50"]),
+            &["tuned"],
+        )
+        .unwrap();
+        assert_eq!(flags.get("in"), Some("a.bin"));
+        assert!(flags.has("tuned"));
+        assert_eq!(flags.parse_value::<f64>("rate", 0.0).unwrap(), 50.0);
+        assert_eq!(flags.parse_value::<f64>("start", 300.0).unwrap(), 300.0);
+    }
+
+    #[test]
+    fn flags_last_value_wins() {
+        let flags = Flags::parse(&args(&["--seed", "1", "--seed", "2"]), &[]).unwrap();
+        assert_eq!(flags.get("seed"), Some("2"));
+    }
+
+    #[test]
+    fn flags_reject_malformed_input() {
+        assert!(Flags::parse(&args(&["positional"]), &[]).is_err());
+        assert!(Flags::parse(&args(&["--rate"]), &[]).is_err());
+        let flags = Flags::parse(&args(&["--rate", "abc"]), &[]).unwrap();
+        assert!(flags.parse_value::<f64>("rate", 0.0).is_err());
+        assert!(flags.require("missing").is_err());
+    }
+
+    #[test]
+    fn site_lookup_is_case_insensitive() {
+        assert_eq!(site_by_name("UNC").unwrap().name(), "UNC");
+        assert_eq!(site_by_name("auckland").unwrap().name(), "Auckland");
+        assert!(site_by_name("mit").is_err());
+    }
+
+    #[test]
+    fn detect_config_switches_profiles() {
+        let default = detect_config(&Flags::parse(&[], &["tuned"]).unwrap()).unwrap();
+        assert_eq!(default.offset, 0.35);
+        let tuned = detect_config(&Flags::parse(&args(&["--tuned"]), &["tuned"]).unwrap()).unwrap();
+        assert_eq!(tuned.offset, 0.2);
+        let custom_t0 =
+            detect_config(&Flags::parse(&args(&["--t0", "10"]), &["tuned"]).unwrap()).unwrap();
+        assert_eq!(custom_t0.observation_period_secs, 10.0);
+        assert!(detect_config(&Flags::parse(&args(&["--t0", "0"]), &["tuned"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn trace_io_dispatches_on_extension() {
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::lbl();
+        let mut rng = SimRng::seed_from_u64(1);
+        let trace = site.generate_trace(&mut rng);
+        for name in ["syndog_test_io.bin", "syndog_test_io.pcap"] {
+            let path = dir.join(name);
+            let path = path.to_str().unwrap();
+            write_trace(&trace, path).unwrap();
+            let restored = read_trace(path, site.stub()).unwrap();
+            assert_eq!(restored.len(), trace.len());
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Posterior (off-line) change-point tests.
+//!
+//! §3.2 of the paper divides change detection into *posterior* tests, which
+//! see the whole series before deciding, and *sequential* tests, which
+//! decide on the fly. SYN-dog is sequential for quick response; these
+//! off-line tests exist for forensic re-analysis of a recorded trace and as
+//! the reference the sequential detector's delay is measured against in the
+//! ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+/// A change point located by an off-line scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangePoint {
+    /// Index of the first post-change observation.
+    pub index: usize,
+    /// The scan statistic at the split (scale depends on the test).
+    pub score: f64,
+    /// Mean of the series before the split.
+    pub mean_before: f64,
+    /// Mean of the series from the split onward.
+    pub mean_after: f64,
+}
+
+/// Off-line CUSUM scan: finds the split `k` maximizing
+/// `|S_k − (k/n)·S_n|`, where `S` is the cumulative sum — the classical
+/// posterior CUSUM statistic for a single mean shift.
+///
+/// Returns `None` for series shorter than 2 points. The caller judges
+/// significance by comparing `score` against a threshold calibrated for the
+/// series' variance (see [`offline_cusum_significant`]).
+pub fn offline_cusum(series: &[f64]) -> Option<ChangePoint> {
+    if series.len() < 2 {
+        return None;
+    }
+    let n = series.len();
+    let total: f64 = series.iter().sum();
+    let mut running = 0.0;
+    let mut best_k = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for k in 1..n {
+        running += series[k - 1];
+        let expected = total * k as f64 / n as f64;
+        let score = (running - expected).abs();
+        if score > best_score {
+            best_score = score;
+            best_k = k;
+        }
+    }
+    let mean_before = series[..best_k].iter().sum::<f64>() / best_k as f64;
+    let mean_after = series[best_k..].iter().sum::<f64>() / (n - best_k) as f64;
+    Some(ChangePoint {
+        index: best_k,
+        score: best_score,
+        mean_before,
+        mean_after,
+    })
+}
+
+/// Tests the off-line CUSUM score for significance by comparing against
+/// what i.i.d. noise of the series' own variance would produce: the score
+/// is significant when it exceeds `factor · σ · √n`.
+///
+/// `factor` around 3 gives a conservative test; the Brownian-bridge null
+/// distribution has mean `σ√(n/8)` and the 99.9th percentile near
+/// `2σ√n/√2`.
+pub fn offline_cusum_significant(series: &[f64], factor: f64) -> Option<ChangePoint> {
+    let cp = offline_cusum(series)?;
+    let n = series.len() as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let bound = factor * var.sqrt() * n.sqrt();
+    // The absolute floor guards constant series, whose score and variance
+    // are both rounding noise.
+    let floor = 1e-9 * n * (1.0 + mean.abs());
+    (cp.score > bound.max(floor)).then_some(cp)
+}
+
+/// Recursive binary segmentation: repeatedly applies the significant
+/// off-line CUSUM to split the series, returning all change points in
+/// ascending order.
+///
+/// `min_segment` prevents degenerate single-point segments; `factor` is
+/// the significance factor of [`offline_cusum_significant`].
+pub fn binary_segmentation(series: &[f64], min_segment: usize, factor: f64) -> Vec<usize> {
+    let mut result = Vec::new();
+    segment_recursive(series, 0, min_segment.max(2), factor, &mut result);
+    result.sort_unstable();
+    result
+}
+
+fn segment_recursive(
+    series: &[f64],
+    offset: usize,
+    min_segment: usize,
+    factor: f64,
+    out: &mut Vec<usize>,
+) {
+    if series.len() < 2 * min_segment {
+        return;
+    }
+    let Some(cp) = offline_cusum_significant(series, factor) else {
+        return;
+    };
+    if cp.index < min_segment || series.len() - cp.index < min_segment {
+        return;
+    }
+    out.push(offset + cp.index);
+    segment_recursive(&series[..cp.index], offset, min_segment, factor, out);
+    segment_recursive(
+        &series[cp.index..],
+        offset + cp.index,
+        min_segment,
+        factor,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(pre: f64, post: f64, change_at: usize, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| if i < change_at { pre } else { post })
+            .collect()
+    }
+
+    #[test]
+    fn locates_clean_step_exactly() {
+        let series = step(0.0, 1.0, 40, 100);
+        let cp = offline_cusum(&series).unwrap();
+        assert_eq!(cp.index, 40);
+        assert_eq!(cp.mean_before, 0.0);
+        assert_eq!(cp.mean_after, 1.0);
+        assert!(cp.score > 0.0);
+    }
+
+    #[test]
+    fn short_series_is_none() {
+        assert!(offline_cusum(&[]).is_none());
+        assert!(offline_cusum(&[1.0]).is_none());
+    }
+
+    #[test]
+    fn locates_noisy_step_approximately() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let series: Vec<f64> = (0..300)
+            .map(|i| {
+                if i < 120 {
+                    rng.gen::<f64>()
+                } else {
+                    1.5 + rng.gen::<f64>()
+                }
+            })
+            .collect();
+        let cp = offline_cusum(&series).unwrap();
+        assert!((115..=125).contains(&cp.index), "found {}", cp.index);
+        assert!(cp.mean_after > cp.mean_before + 1.0);
+    }
+
+    #[test]
+    fn significance_filter_rejects_pure_noise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let series: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        assert!(offline_cusum_significant(&series, 3.0).is_none());
+    }
+
+    #[test]
+    fn significance_filter_accepts_real_shift() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let series: Vec<f64> = (0..500)
+            .map(|i| {
+                if i < 250 {
+                    rng.gen::<f64>()
+                } else {
+                    2.0 + rng.gen::<f64>()
+                }
+            })
+            .collect();
+        let cp = offline_cusum_significant(&series, 3.0).unwrap();
+        assert!((240..=260).contains(&cp.index));
+    }
+
+    #[test]
+    fn binary_segmentation_finds_both_flood_edges() {
+        // A flood is a step up *and* a step down; the posterior scan should
+        // recover both boundaries — something the sequential detector never
+        // needs, but forensics wants.
+        let mut series = vec![0.05; 60];
+        series.extend(vec![0.9; 30]);
+        series.extend(vec![0.05; 60]);
+        let cps = binary_segmentation(&series, 5, 1.5);
+        assert_eq!(cps, vec![60, 90]);
+    }
+
+    #[test]
+    fn binary_segmentation_on_flat_series_is_empty() {
+        let series = vec![0.3; 100];
+        assert!(binary_segmentation(&series, 5, 1.5).is_empty());
+    }
+
+    #[test]
+    fn binary_segmentation_respects_min_segment() {
+        let mut series = vec![0.0; 3];
+        series.extend(vec![5.0; 200]);
+        // The true change at index 3 is inside the exclusion zone.
+        let cps = binary_segmentation(&series, 10, 1.5);
+        assert!(cps.is_empty());
+    }
+}

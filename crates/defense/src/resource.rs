@@ -1,0 +1,83 @@
+//! The common interface and resource accounting for victim-side defenses.
+//!
+//! Every defense consumes the same handshake events (SYN in, ACK in, RST
+//! in) and reports how many bytes of per-connection state it currently
+//! holds. The `ablate-defenses` experiment drives a flood through each
+//! implementation and plots `state_bytes()` against flood volume — the
+//! quantitative form of the paper's "the defense mechanism itself \[is\]
+//! vulnerable to SYN flooding attacks".
+
+use std::net::SocketAddrV4;
+
+use syndog_sim::SimTime;
+
+/// A defense's reaction to one client segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseVerdict {
+    /// A SYN/ACK was emitted toward the client.
+    SynAckSent,
+    /// The segment was passed through to the protected server.
+    Forwarded,
+    /// The segment was silently dropped.
+    Dropped,
+    /// A RST was emitted (tearing down or refusing the connection).
+    RstSent,
+    /// The segment completed a handshake; the connection is established.
+    Established,
+}
+
+/// A victim-side SYN-flood defense under test.
+///
+/// Object-safe so the experiment can hold a heterogeneous bank of
+/// defenses; all methods take the event time so implementations can expire
+/// their own state.
+pub trait Defense {
+    /// Handles a SYN from `client` at `now`.
+    fn on_syn(&mut self, now: SimTime, client: SocketAddrV4) -> DefenseVerdict;
+
+    /// Handles a (non-SYN) ACK from `client`, carrying the acknowledgment
+    /// number `ack` (cookies are validated against it).
+    fn on_ack(&mut self, now: SimTime, client: SocketAddrV4, ack: u32) -> DefenseVerdict;
+
+    /// Handles a RST from `client`.
+    fn on_rst(&mut self, now: SimTime, client: SocketAddrV4);
+
+    /// Bytes of per-connection state currently held — the resource a flood
+    /// attacks. Constant-size bookkeeping (keys, counters) is excluded.
+    fn state_bytes(&self) -> usize;
+
+    /// Number of handshakes completed end-to-end.
+    fn established(&self) -> u64;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Book-keeping size of one half-open connection entry, used by the
+/// stateful defenses for comparable accounting: a 4-tuple key, an ISN,
+/// and a timestamp.
+pub const HALF_OPEN_ENTRY_BYTES: usize = 6 + 6 + 4 + 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_are_distinguishable() {
+        // Trivial but guards against accidental variant merging during
+        // refactors: each verdict is a distinct decision the experiment
+        // counts separately.
+        let all = [
+            DefenseVerdict::SynAckSent,
+            DefenseVerdict::Forwarded,
+            DefenseVerdict::Dropped,
+            DefenseVerdict::RstSent,
+            DefenseVerdict::Established,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(i == j, a == b);
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! A Synkill-style active monitor — Schuba et al., reference \[24\].
+//!
+//! Synkill watches the victim's LAN and classifies source addresses:
+//!
+//! - **null** — never seen; treated with suspicion,
+//! - **good** — previously completed a handshake (or answered a probe),
+//! - **bad** — previously left handshakes hanging; Synkill *actively
+//!   RSTs* half-open connections from bad addresses, freeing the victim's
+//!   backlog,
+//! - **new → good/bad** — null addresses migrate based on observed
+//!   behaviour within an observation window.
+//!
+//! The per-*address* state is the weakness the paper highlights: a flood
+//! of randomly spoofed sources mints a fresh classification entry per
+//! spoofed address, so memory grows with the number of distinct spoofed
+//! addresses — measured by [`Defense::state_bytes`].
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use syndog_sim::{SimDuration, SimTime};
+
+use crate::resource::{Defense, DefenseVerdict};
+
+/// Classification of a source address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddressClass {
+    /// Observed but not yet judged.
+    New,
+    /// Completed a handshake; trusted.
+    Good,
+    /// Left handshakes hanging; connections are RST on sight.
+    Bad,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AddressState {
+    class: AddressClass,
+    pending_since: Option<SimTime>,
+    last_seen: SimTime,
+}
+
+/// Bytes per classification entry: address + class + two timestamps.
+const ADDRESS_ENTRY_BYTES: usize = 4 + 1 + 16;
+
+/// Synkill's tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynkillConfig {
+    /// How long a `New` address may hold a half-open connection before it
+    /// is judged `Bad` (Synkill's "expire" interval).
+    pub judgment_timeout: SimDuration,
+    /// Idle time after which an address entry is evicted entirely.
+    pub eviction_timeout: SimDuration,
+}
+
+impl SynkillConfig {
+    /// The intervals from the Synkill paper's deployment: judge after
+    /// 12 s, evict classification state after 10 min.
+    pub fn classic() -> Self {
+        SynkillConfig {
+            judgment_timeout: SimDuration::from_secs(12),
+            eviction_timeout: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// The active monitor.
+#[derive(Debug, Clone)]
+pub struct Synkill {
+    config: SynkillConfig,
+    addresses: HashMap<Ipv4Addr, AddressState>,
+    established: u64,
+    rsts_sent: u64,
+}
+
+impl Synkill {
+    /// Creates a monitor with the given configuration.
+    pub fn new(config: SynkillConfig) -> Self {
+        Synkill {
+            config,
+            addresses: HashMap::new(),
+            established: 0,
+            rsts_sent: 0,
+        }
+    }
+
+    /// The current classification of `addr`, if tracked.
+    pub fn classify(&self, addr: Ipv4Addr) -> Option<AddressClass> {
+        self.addresses.get(&addr).map(|s| s.class)
+    }
+
+    /// RST segments emitted toward the victim to clear bad half-opens.
+    pub fn rsts_sent(&self) -> u64 {
+        self.rsts_sent
+    }
+
+    /// Number of tracked addresses.
+    pub fn tracked_addresses(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Judges overdue pending handshakes and evicts idle entries.
+    pub fn sweep(&mut self, now: SimTime) {
+        let judgment = self.config.judgment_timeout;
+        let eviction = self.config.eviction_timeout;
+        let mut rsts = 0u64;
+        self.addresses.retain(|_, state| {
+            if let Some(since) = state.pending_since {
+                if now.saturating_since(since) >= judgment {
+                    // Handshake never completed: the address is bad and
+                    // its half-open connection is RST off the victim.
+                    state.class = AddressClass::Bad;
+                    state.pending_since = None;
+                    rsts += 1;
+                }
+            }
+            now.saturating_since(state.last_seen) < eviction
+        });
+        self.rsts_sent += rsts;
+    }
+}
+
+impl Defense for Synkill {
+    fn on_syn(&mut self, now: SimTime, client: SocketAddrV4) -> DefenseVerdict {
+        self.sweep(now);
+        let entry = self.addresses.entry(*client.ip()).or_insert(AddressState {
+            class: AddressClass::New,
+            pending_since: None,
+            last_seen: now,
+        });
+        entry.last_seen = now;
+        match entry.class {
+            AddressClass::Bad => {
+                // RST immediately: the victim's backlog never holds it.
+                self.rsts_sent += 1;
+                DefenseVerdict::RstSent
+            }
+            AddressClass::Good => DefenseVerdict::Forwarded,
+            AddressClass::New => {
+                entry.pending_since.get_or_insert(now);
+                DefenseVerdict::Forwarded
+            }
+        }
+    }
+
+    fn on_ack(&mut self, now: SimTime, client: SocketAddrV4, _ack: u32) -> DefenseVerdict {
+        self.sweep(now);
+        match self.addresses.get_mut(client.ip()) {
+            Some(state) if state.pending_since.is_some() => {
+                state.pending_since = None;
+                state.class = AddressClass::Good;
+                state.last_seen = now;
+                self.established += 1;
+                DefenseVerdict::Established
+            }
+            Some(state) => {
+                state.last_seen = now;
+                DefenseVerdict::Forwarded
+            }
+            None => DefenseVerdict::Forwarded,
+        }
+    }
+
+    fn on_rst(&mut self, now: SimTime, client: SocketAddrV4) {
+        self.sweep(now);
+        if let Some(state) = self.addresses.get_mut(client.ip()) {
+            state.pending_since = None;
+            state.last_seen = now;
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.addresses.len() * ADDRESS_ENTRY_BYTES
+    }
+
+    fn established(&self) -> u64 {
+        self.established
+    }
+
+    fn name(&self) -> &'static str {
+        "synkill monitor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(last: u8) -> SocketAddrV4 {
+        SocketAddrV4::new(Ipv4Addr::new(198, 51, 100, last), 4000)
+    }
+
+    #[test]
+    fn completing_a_handshake_earns_good() {
+        let mut monitor = Synkill::new(SynkillConfig::classic());
+        let t = SimTime::from_secs(1);
+        assert_eq!(monitor.on_syn(t, client(1)), DefenseVerdict::Forwarded);
+        assert_eq!(monitor.classify(*client(1).ip()), Some(AddressClass::New));
+        assert_eq!(
+            monitor.on_ack(t + SimDuration::from_millis(200), client(1), 1),
+            DefenseVerdict::Established
+        );
+        assert_eq!(monitor.classify(*client(1).ip()), Some(AddressClass::Good));
+        // Subsequent SYNs from a good address pass straight through.
+        assert_eq!(
+            monitor.on_syn(t + SimDuration::from_secs(5), client(1)),
+            DefenseVerdict::Forwarded
+        );
+    }
+
+    #[test]
+    fn hanging_handshake_earns_bad_and_rst() {
+        let mut monitor = Synkill::new(SynkillConfig::classic());
+        monitor.on_syn(SimTime::from_secs(0), client(2));
+        // 13 s later the judgment timeout has passed.
+        monitor.sweep(SimTime::from_secs(13));
+        assert_eq!(monitor.classify(*client(2).ip()), Some(AddressClass::Bad));
+        assert_eq!(
+            monitor.rsts_sent(),
+            1,
+            "the half-open was RST off the victim"
+        );
+        // Further SYNs from the bad address are RST on sight.
+        assert_eq!(
+            monitor.on_syn(SimTime::from_secs(14), client(2)),
+            DefenseVerdict::RstSent
+        );
+    }
+
+    #[test]
+    fn spoofed_flood_mints_one_entry_per_address() {
+        let mut monitor = Synkill::new(SynkillConfig::classic());
+        let t = SimTime::from_secs(1);
+        for i in 0..20_000u32 {
+            let spoofed = SocketAddrV4::new(Ipv4Addr::from(0x0a00_0000 | i), 6000);
+            monitor.on_syn(t, spoofed);
+        }
+        assert_eq!(monitor.tracked_addresses(), 20_000);
+        assert!(monitor.state_bytes() >= 20_000 * 21);
+    }
+
+    #[test]
+    fn idle_entries_evicted() {
+        let mut monitor = Synkill::new(SynkillConfig::classic());
+        monitor.on_syn(SimTime::from_secs(0), client(3));
+        monitor.on_ack(SimTime::from_secs(1), client(3), 1);
+        monitor.sweep(SimTime::from_secs(601));
+        assert_eq!(monitor.tracked_addresses(), 0);
+    }
+
+    #[test]
+    fn rst_from_client_clears_pending_without_judgment() {
+        // A reachable host answering an unexpected SYN/ACK with RST (§1 of
+        // the SYN-dog paper) is not evidence of badness.
+        let mut monitor = Synkill::new(SynkillConfig::classic());
+        monitor.on_syn(SimTime::from_secs(0), client(4));
+        monitor.on_rst(SimTime::from_secs(1), client(4));
+        monitor.sweep(SimTime::from_secs(20));
+        assert_eq!(monitor.classify(*client(4).ip()), Some(AddressClass::New));
+        assert_eq!(monitor.rsts_sent(), 0);
+    }
+}

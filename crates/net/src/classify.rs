@@ -1,0 +1,275 @@
+//! The paper's packet-classification algorithm (§2, after \[31\]).
+//!
+//! > "Briefly, packets are classified as follows. First, we check if the IP
+//! > packet contains a TCP header. The IP packet that contains the TCP
+//! > header must have zero fragmentation offset. Then we compute the offset
+//! > of TCP flag bits in the IP packet. Finally, the six TCP flag bits are
+//! > read to determine the type of the TCP segment."
+//!
+//! [`classify`] implements exactly that, operating on raw frame bytes with
+//! no allocation and no per-connection state — the statelessness that makes
+//! SYN-dog itself immune to flooding. It reads only the bytes it needs: the
+//! EtherType, the IPv4 protocol/fragment fields, and the single flag byte at
+//! its computed offset.
+
+use crate::error::NetError;
+use crate::ethernet;
+use crate::ipv4::PROTO_TCP;
+use crate::tcp::TcpFlags;
+
+/// The classification the sniffers act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Connection request: SYN set, ACK clear. Counted by the outbound
+    /// (first-mile) sniffer.
+    Syn,
+    /// Handshake answer: SYN and ACK set. Counted by the inbound
+    /// (last-mile) sniffer.
+    SynAck,
+    /// Connection reset.
+    Rst,
+    /// Teardown: FIN set (possibly with ACK).
+    Fin,
+    /// Pure acknowledgment: ACK set, no data-bearing meaning inferred.
+    Ack,
+    /// Any other TCP segment (data, URG-only oddities, …).
+    OtherTcp,
+    /// An IPv4 packet that is not a classifiable TCP segment: non-TCP
+    /// protocol, or a later fragment.
+    NonTcp,
+}
+
+impl SegmentKind {
+    /// Returns `true` for the two kinds SYN-dog counts.
+    pub fn is_handshake_signal(&self) -> bool {
+        matches!(self, SegmentKind::Syn | SegmentKind::SynAck)
+    }
+}
+
+/// Classifies raw Ethernet frame bytes.
+///
+/// Follows the paper's three steps and reads the minimum necessary bytes;
+/// no full header decode and no checksum verification is performed — a leaf
+/// router's fast path cannot afford either, and the algorithm does not need
+/// them.
+///
+/// # Errors
+///
+/// Returns [`NetError::Truncated`] if the frame is too short to hold the
+/// fields the algorithm must read, and [`NetError::InvalidField`] for a
+/// non-IPv4 version nibble in an IPv4 EtherType frame.
+pub fn classify(frame: &[u8]) -> Result<SegmentKind, NetError> {
+    // Step 0: link layer. Anything but IPv4 is NonTcp for our purposes.
+    if frame.len() < ethernet::HEADER_LEN {
+        return Err(NetError::Truncated {
+            layer: "ethernet",
+            needed: ethernet::HEADER_LEN,
+            available: frame.len(),
+        });
+    }
+    let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    if ethertype != 0x0800 {
+        return Ok(SegmentKind::NonTcp);
+    }
+    let ip = &frame[ethernet::HEADER_LEN..];
+    classify_ipv4(ip)
+}
+
+/// Classifies raw IPv4 packet bytes (no link-layer header).
+///
+/// # Errors
+///
+/// Same conditions as [`classify`].
+pub fn classify_ipv4(ip: &[u8]) -> Result<SegmentKind, NetError> {
+    if ip.len() < crate::ipv4::MIN_HEADER_LEN {
+        return Err(NetError::Truncated {
+            layer: "ipv4",
+            needed: crate::ipv4::MIN_HEADER_LEN,
+            available: ip.len(),
+        });
+    }
+    let version = ip[0] >> 4;
+    if version != 4 {
+        return Err(NetError::InvalidField {
+            layer: "ipv4",
+            field: "version",
+            value: u64::from(version),
+        });
+    }
+    // Step 1: does the IP packet contain a TCP header? It must be protocol 6
+    // *and* have zero fragmentation offset.
+    if ip[9] != PROTO_TCP {
+        return Ok(SegmentKind::NonTcp);
+    }
+    let fragment_offset = u16::from_be_bytes([ip[6], ip[7]]) & 0x1fff;
+    if fragment_offset != 0 {
+        return Ok(SegmentKind::NonTcp);
+    }
+    // Step 2: compute the offset of the TCP flag bits in the IP packet.
+    let ihl = usize::from(ip[0] & 0x0f) * 4;
+    if !(crate::ipv4::MIN_HEADER_LEN..=crate::ipv4::MAX_HEADER_LEN).contains(&ihl) {
+        return Err(NetError::InvalidField {
+            layer: "ipv4",
+            field: "ihl",
+            value: ihl as u64,
+        });
+    }
+    let flags_offset = ihl + 13;
+    if ip.len() <= flags_offset {
+        return Err(NetError::Truncated {
+            layer: "tcp",
+            needed: flags_offset + 1,
+            available: ip.len(),
+        });
+    }
+    // Step 3: read the six TCP flag bits and determine the segment type.
+    let flags = TcpFlags::from_bits_truncate(ip[flags_offset]);
+    Ok(kind_of(flags))
+}
+
+/// Maps flag bits to a [`SegmentKind`]. RST dominates, then the SYN forms,
+/// then FIN, matching how endpoints interpret simultaneous flags.
+pub fn kind_of(flags: TcpFlags) -> SegmentKind {
+    if flags.contains(TcpFlags::RST) {
+        SegmentKind::Rst
+    } else if flags.is_syn_ack() {
+        SegmentKind::SynAck
+    } else if flags.is_pure_syn() {
+        SegmentKind::Syn
+    } else if flags.contains(TcpFlags::FIN) {
+        SegmentKind::Fin
+    } else if flags.contains(TcpFlags::ACK) {
+        SegmentKind::Ack
+    } else {
+        SegmentKind::OtherTcp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    fn addr(s: &str) -> SocketAddrV4 {
+        s.parse().unwrap()
+    }
+
+    fn classify_built(flags: TcpFlags) -> SegmentKind {
+        let bytes = PacketBuilder::tcp(addr("10.0.0.1:1025"), addr("192.0.2.80:80"), flags)
+            .build()
+            .unwrap();
+        classify(&bytes).unwrap()
+    }
+
+    #[test]
+    fn flag_truth_table() {
+        assert_eq!(classify_built(TcpFlags::SYN), SegmentKind::Syn);
+        assert_eq!(
+            classify_built(TcpFlags::SYN | TcpFlags::ACK),
+            SegmentKind::SynAck
+        );
+        assert_eq!(classify_built(TcpFlags::ACK), SegmentKind::Ack);
+        assert_eq!(
+            classify_built(TcpFlags::FIN | TcpFlags::ACK),
+            SegmentKind::Fin
+        );
+        assert_eq!(classify_built(TcpFlags::RST), SegmentKind::Rst);
+        assert_eq!(
+            classify_built(TcpFlags::RST | TcpFlags::ACK),
+            SegmentKind::Rst
+        );
+        assert_eq!(classify_built(TcpFlags::EMPTY), SegmentKind::OtherTcp);
+        assert_eq!(classify_built(TcpFlags::URG), SegmentKind::OtherTcp);
+        assert_eq!(
+            classify_built(TcpFlags::PSH | TcpFlags::ACK),
+            SegmentKind::Ack
+        );
+    }
+
+    #[test]
+    fn syn_with_rst_is_rst_not_syn() {
+        // A nonsense combination must not inflate the SYN count.
+        assert_eq!(
+            classify_built(TcpFlags::SYN | TcpFlags::RST),
+            SegmentKind::Rst
+        );
+    }
+
+    #[test]
+    fn non_tcp_protocol_is_not_counted() {
+        let bytes = PacketBuilder::non_tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            crate::ipv4::PROTO_UDP,
+        )
+        .payload(vec![0u8; 40])
+        .build()
+        .unwrap();
+        assert_eq!(classify(&bytes).unwrap(), SegmentKind::NonTcp);
+    }
+
+    #[test]
+    fn later_fragment_is_not_counted() {
+        // Paper: "The IP packet that contains the TCP header must have zero
+        // fragmentation offset." A fragmented middle piece whose first
+        // payload byte happens to look like flags must be excluded.
+        let bytes = PacketBuilder::tcp_syn(addr("1.1.1.1:1"), addr("2.2.2.2:2"))
+            .fragment_offset(2)
+            .payload(vec![0xff; 40])
+            .build()
+            .unwrap();
+        assert_eq!(classify(&bytes).unwrap(), SegmentKind::NonTcp);
+    }
+
+    #[test]
+    fn non_ipv4_ethertype_is_non_tcp() {
+        let mut bytes = PacketBuilder::tcp_syn(addr("1.1.1.1:1"), addr("2.2.2.2:2"))
+            .build()
+            .unwrap();
+        bytes[12] = 0x86;
+        bytes[13] = 0xdd; // IPv6
+        assert_eq!(classify(&bytes).unwrap(), SegmentKind::NonTcp);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        assert!(classify(&[0u8; 5]).is_err());
+        let bytes = PacketBuilder::tcp_syn(addr("1.1.1.1:1"), addr("2.2.2.2:2"))
+            .build()
+            .unwrap();
+        // Cut inside the TCP header, before the flags byte.
+        assert!(classify(&bytes[..14 + 20 + 5]).is_err());
+    }
+
+    #[test]
+    fn classification_agrees_with_full_decode() {
+        // The fast path must agree with the full parser on every flag combo.
+        for bits in 0..64u8 {
+            let flags = TcpFlags::from_bits_truncate(bits);
+            let bytes = PacketBuilder::tcp(addr("10.0.0.1:1"), addr("10.0.0.2:2"), flags)
+                .build()
+                .unwrap();
+            let fast = classify(&bytes).unwrap();
+            let full = crate::packet::Packet::decode(&bytes).unwrap();
+            let slow = kind_of(full.tcp.unwrap().flags);
+            assert_eq!(fast, slow, "flags {bits:#08b}");
+        }
+    }
+
+    #[test]
+    fn classify_ipv4_without_link_layer() {
+        let bytes = PacketBuilder::tcp_syn(addr("1.1.1.1:1"), addr("2.2.2.2:2"))
+            .build()
+            .unwrap();
+        assert_eq!(classify_ipv4(&bytes[14..]).unwrap(), SegmentKind::Syn);
+    }
+
+    #[test]
+    fn handshake_signal_predicate() {
+        assert!(SegmentKind::Syn.is_handshake_signal());
+        assert!(SegmentKind::SynAck.is_handshake_signal());
+        assert!(!SegmentKind::Ack.is_handshake_signal());
+        assert!(!SegmentKind::NonTcp.is_handshake_signal());
+    }
+}

@@ -1,0 +1,144 @@
+//! Error type shared across the wire-format modules.
+
+use std::fmt;
+
+/// Error returned by packet encoding, decoding, classification and pcap I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The buffer is shorter than the header or payload being decoded.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        layer: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A header field holds a value the decoder cannot accept.
+    InvalidField {
+        /// What was being decoded.
+        layer: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which layer's checksum failed.
+        layer: &'static str,
+        /// Checksum found in the packet.
+        found: u16,
+        /// Checksum recomputed from the packet contents.
+        expected: u16,
+    },
+    /// The pcap file magic number is not one of the recognized variants.
+    BadPcapMagic(u32),
+    /// The payload would not fit in the encoded representation.
+    Oversize {
+        /// What was being encoded.
+        layer: &'static str,
+        /// The limit that was exceeded.
+        limit: usize,
+        /// The requested size.
+        requested: usize,
+    },
+    /// An underlying I/O error from reading or writing a capture file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {layer}: need {needed} bytes, have {available}"
+            ),
+            NetError::InvalidField {
+                layer,
+                field,
+                value,
+            } => {
+                write!(f, "invalid {layer} field {field}: {value}")
+            }
+            NetError::BadChecksum {
+                layer,
+                found,
+                expected,
+            } => write!(
+                f,
+                "bad {layer} checksum: found {found:#06x}, expected {expected:#06x}"
+            ),
+            NetError::BadPcapMagic(magic) => {
+                write!(f, "unrecognized pcap magic number {magic:#010x}")
+            }
+            NetError::Oversize {
+                layer,
+                limit,
+                requested,
+            } => write!(
+                f,
+                "{layer} too large: requested {requested} bytes, limit {limit}"
+            ),
+            NetError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(err: std::io::Error) -> Self {
+        NetError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NetError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 7,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("ipv4"));
+        assert!(msg.contains("20"));
+        assert!(msg.contains('7'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let err = NetError::from(std::io::Error::other("boom"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn checksum_error_formats_hex() {
+        let err = NetError::BadChecksum {
+            layer: "tcp",
+            found: 0xbeef,
+            expected: 0x1234,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("0xbeef"));
+        assert!(msg.contains("0x1234"));
+    }
+}

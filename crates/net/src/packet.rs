@@ -1,0 +1,398 @@
+//! Owned full-stack packets and a builder for constructing them.
+//!
+//! A [`Packet`] is the decoded view of an Ethernet/IPv4/TCP byte string; a
+//! [`PacketBuilder`] assembles the byte string from high-level intent. The
+//! traffic generators build packets with the builder, the router forwards
+//! the raw bytes, and the sniffers re-decode them through
+//! [`classify`](mod@crate::classify) — so every packet the detector ever sees
+//! has gone through a real encode/decode cycle.
+
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use crate::addr::MacAddr;
+use crate::error::NetError;
+use crate::ethernet::{EtherType, EthernetHeader};
+use crate::ipv4::Ipv4Header;
+use crate::tcp::{TcpFlags, TcpHeader};
+
+/// A fully decoded Ethernet + IPv4 + TCP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Link-layer header.
+    pub ethernet: EthernetHeader,
+    /// Network-layer header.
+    pub ipv4: Ipv4Header,
+    /// Transport-layer header, present when the payload protocol is TCP and
+    /// the fragment offset is zero.
+    pub tcp: Option<TcpHeader>,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Decodes a packet from raw frame bytes.
+    ///
+    /// TCP decoding is attempted only for protocol 6 with zero fragment
+    /// offset — mirroring the classifier's precondition. Checksums are not
+    /// verified here; use the layer decoders directly for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any present layer fails to decode.
+    pub fn decode(bytes: &[u8]) -> Result<Self, NetError> {
+        let (ethernet, rest) = EthernetHeader::decode(bytes)?;
+        let (ipv4, ip_payload) = Ipv4Header::decode(rest, false)?;
+        if ipv4.protocol == crate::ipv4::PROTO_TCP && !ipv4.is_later_fragment() {
+            let (tcp, payload) = TcpHeader::decode(ip_payload, None)?;
+            Ok(Packet {
+                ethernet,
+                ipv4,
+                tcp: Some(tcp),
+                payload: payload.to_vec(),
+            })
+        } else {
+            Ok(Packet {
+                ethernet,
+                ipv4,
+                tcp: None,
+                payload: ip_payload.to_vec(),
+            })
+        }
+    }
+
+    /// Re-encodes the packet to wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer encoding errors (oversize options and the like).
+    pub fn encode(&self) -> Result<Vec<u8>, NetError> {
+        let mut tcp_bytes = Vec::new();
+        if let Some(tcp) = &self.tcp {
+            tcp.encode(self.ipv4.src, self.ipv4.dst, &self.payload, &mut tcp_bytes)?;
+        } else {
+            tcp_bytes.extend_from_slice(&self.payload);
+        }
+        let mut ip = self.ipv4.clone();
+        ip.total_len = (ip.header_len() + tcp_bytes.len()) as u16;
+        let mut buf = Vec::with_capacity(14 + usize::from(ip.total_len));
+        self.ethernet.encode(&mut buf);
+        ip.encode(&mut buf)?;
+        buf.extend_from_slice(&tcp_bytes);
+        Ok(buf)
+    }
+
+    /// The source socket address, if the packet carries TCP.
+    pub fn src_socket(&self) -> Option<SocketAddrV4> {
+        self.tcp
+            .as_ref()
+            .map(|t| SocketAddrV4::new(self.ipv4.src, t.src_port))
+    }
+
+    /// The destination socket address, if the packet carries TCP.
+    pub fn dst_socket(&self) -> Option<SocketAddrV4> {
+        self.tcp
+            .as_ref()
+            .map(|t| SocketAddrV4::new(self.ipv4.dst, t.dst_port))
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.tcp {
+            Some(tcp) => write!(
+                f,
+                "{}:{} > {}:{} [{}] seq={} len={}",
+                self.ipv4.src,
+                tcp.src_port,
+                self.ipv4.dst,
+                tcp.dst_port,
+                tcp.flags,
+                tcp.seq,
+                self.payload.len()
+            ),
+            None => write!(
+                f,
+                "{} > {} proto={} len={}",
+                self.ipv4.src,
+                self.ipv4.dst,
+                self.ipv4.protocol,
+                self.payload.len()
+            ),
+        }
+    }
+}
+
+/// Builder assembling Ethernet/IPv4/TCP packets into wire bytes.
+///
+/// ```
+/// use syndog_net::packet::PacketBuilder;
+/// use syndog_net::{MacAddr, TcpFlags};
+///
+/// # fn main() -> Result<(), syndog_net::NetError> {
+/// let bytes = PacketBuilder::tcp_syn("10.0.0.7:1025".parse().unwrap(),
+///                                    "192.0.2.80:80".parse().unwrap())
+///     .src_mac(MacAddr::for_host(0, 7))
+///     .seq(42)
+///     .build()?;
+/// let packet = syndog_net::Packet::decode(&bytes)?;
+/// assert_eq!(packet.tcp.unwrap().seq, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src: SocketAddrV4,
+    dst: SocketAddrV4,
+    flags: TcpFlags,
+    seq: u32,
+    ack: u32,
+    ttl: u8,
+    payload: Vec<u8>,
+    non_tcp_protocol: Option<u8>,
+    fragment_offset: u16,
+}
+
+impl PacketBuilder {
+    /// Starts a TCP packet with the given flags.
+    pub fn tcp(src: SocketAddrV4, dst: SocketAddrV4, flags: TcpFlags) -> Self {
+        PacketBuilder {
+            src_mac: MacAddr::ZERO,
+            dst_mac: MacAddr::ZERO,
+            src,
+            dst,
+            flags,
+            seq: 0,
+            ack: 0,
+            ttl: 64,
+            payload: Vec::new(),
+            non_tcp_protocol: None,
+            fragment_offset: 0,
+        }
+    }
+
+    /// Starts a connection-request (pure SYN) packet.
+    pub fn tcp_syn(src: SocketAddrV4, dst: SocketAddrV4) -> Self {
+        Self::tcp(src, dst, TcpFlags::SYN)
+    }
+
+    /// Starts a SYN/ACK packet.
+    pub fn tcp_syn_ack(src: SocketAddrV4, dst: SocketAddrV4) -> Self {
+        Self::tcp(src, dst, TcpFlags::SYN | TcpFlags::ACK)
+    }
+
+    /// Starts a non-TCP IPv4 packet of the given protocol number; the
+    /// "payload" is carried opaque. Used to exercise the classifier's
+    /// non-TCP path (e.g. Trinoo-style UDP floods).
+    pub fn non_tcp(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8) -> Self {
+        PacketBuilder {
+            src_mac: MacAddr::ZERO,
+            dst_mac: MacAddr::ZERO,
+            src: SocketAddrV4::new(src, 0),
+            dst: SocketAddrV4::new(dst, 0),
+            flags: TcpFlags::EMPTY,
+            seq: 0,
+            ack: 0,
+            ttl: 64,
+            payload: Vec::new(),
+            non_tcp_protocol: Some(protocol),
+            fragment_offset: 0,
+        }
+    }
+
+    /// Sets the source MAC address (defaults to all-zero).
+    pub fn src_mac(mut self, mac: MacAddr) -> Self {
+        self.src_mac = mac;
+        self
+    }
+
+    /// Sets the destination MAC address (defaults to all-zero).
+    pub fn dst_mac(mut self, mac: MacAddr) -> Self {
+        self.dst_mac = mac;
+        self
+    }
+
+    /// Sets the TCP sequence number.
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Sets the TCP acknowledgment number.
+    pub fn ack(mut self, ack: u32) -> Self {
+        self.ack = ack;
+        self
+    }
+
+    /// Sets the IPv4 TTL (defaults to 64).
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the application payload.
+    pub fn payload(mut self, payload: impl Into<Vec<u8>>) -> Self {
+        self.payload = payload.into();
+        self
+    }
+
+    /// Marks the packet as a later fragment (non-zero fragment offset, in
+    /// 8-byte units). Such a packet cannot be classified as a TCP segment.
+    pub fn fragment_offset(mut self, offset: u16) -> Self {
+        self.fragment_offset = offset;
+        self
+    }
+
+    /// Encodes the packet to wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer encoding errors.
+    pub fn build(&self) -> Result<Vec<u8>, NetError> {
+        let mut transport = Vec::new();
+        let protocol = match self.non_tcp_protocol {
+            Some(proto) => {
+                transport.extend_from_slice(&self.payload);
+                proto
+            }
+            None if self.fragment_offset != 0 => {
+                // A later fragment carries a slice of the segment, not a
+                // header; emit the payload raw.
+                transport.extend_from_slice(&self.payload);
+                crate::ipv4::PROTO_TCP
+            }
+            None => {
+                let mut tcp = TcpHeader {
+                    src_port: self.src.port(),
+                    dst_port: self.dst.port(),
+                    seq: self.seq,
+                    ack: self.ack,
+                    flags: self.flags,
+                    window: 65535,
+                    checksum: 0,
+                    urgent: 0,
+                    options: Vec::new(),
+                };
+                if self.flags.is_pure_syn() || self.flags.is_syn_ack() {
+                    tcp.options.push(crate::tcp::TcpOption::Mss(1460));
+                }
+                tcp.encode(
+                    *self.src.ip(),
+                    *self.dst.ip(),
+                    &self.payload,
+                    &mut transport,
+                )?;
+                crate::ipv4::PROTO_TCP
+            }
+        };
+        let mut ip = Ipv4Header::for_tcp(*self.src.ip(), *self.dst.ip(), transport.len());
+        ip.protocol = protocol;
+        ip.ttl = self.ttl;
+        ip.fragment_offset = self.fragment_offset;
+        if self.fragment_offset != 0 {
+            ip.dont_fragment = false;
+        }
+        let ethernet = EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = Vec::with_capacity(14 + 20 + transport.len());
+        ethernet.encode(&mut buf);
+        ip.encode(&mut buf)?;
+        buf.extend_from_slice(&transport);
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> SocketAddrV4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn build_decode_roundtrip_syn() {
+        let bytes = PacketBuilder::tcp_syn(addr("10.0.0.7:1025"), addr("192.0.2.80:80"))
+            .src_mac(MacAddr::for_host(0, 7))
+            .seq(1234)
+            .build()
+            .unwrap();
+        let packet = Packet::decode(&bytes).unwrap();
+        let tcp = packet.tcp.as_ref().unwrap();
+        assert!(tcp.flags.is_pure_syn());
+        assert_eq!(tcp.seq, 1234);
+        assert_eq!(packet.src_socket(), Some(addr("10.0.0.7:1025")));
+        assert_eq!(packet.dst_socket(), Some(addr("192.0.2.80:80")));
+        assert_eq!(packet.ethernet.src, MacAddr::for_host(0, 7));
+    }
+
+    #[test]
+    fn reencode_matches_original_bytes() {
+        let bytes = PacketBuilder::tcp(addr("1.2.3.4:5"), addr("6.7.8.9:10"), TcpFlags::ACK)
+            .seq(7)
+            .ack(8)
+            .payload(&b"hello world"[..])
+            .build()
+            .unwrap();
+        let packet = Packet::decode(&bytes).unwrap();
+        assert_eq!(packet.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn non_tcp_packet_has_no_tcp_header() {
+        let bytes = PacketBuilder::non_tcp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            crate::ipv4::PROTO_UDP,
+        )
+        .payload(&[1, 2, 3][..])
+        .build()
+        .unwrap();
+        let packet = Packet::decode(&bytes).unwrap();
+        assert!(packet.tcp.is_none());
+        assert_eq!(packet.payload, vec![1, 2, 3]);
+        assert_eq!(packet.src_socket(), None);
+    }
+
+    #[test]
+    fn later_fragment_skips_tcp_decode() {
+        let bytes = PacketBuilder::tcp_syn(addr("1.1.1.1:1"), addr("2.2.2.2:2"))
+            .fragment_offset(10)
+            .payload(vec![0u8; 32])
+            .build()
+            .unwrap();
+        let packet = Packet::decode(&bytes).unwrap();
+        assert!(packet.tcp.is_none());
+        assert!(packet.ipv4.is_later_fragment());
+    }
+
+    #[test]
+    fn display_includes_flags_and_endpoints() {
+        let bytes = PacketBuilder::tcp_syn_ack(addr("9.9.9.9:80"), addr("8.8.8.8:1024"))
+            .build()
+            .unwrap();
+        let text = Packet::decode(&bytes).unwrap().to_string();
+        assert!(text.contains("SYN|ACK"), "{text}");
+        assert!(text.contains("9.9.9.9:80"), "{text}");
+    }
+
+    #[test]
+    fn payload_survives_roundtrip() {
+        let body: Vec<u8> = (0..=255).collect();
+        let bytes = PacketBuilder::tcp(
+            addr("1.2.3.4:5"),
+            addr("5.4.3.2:1"),
+            TcpFlags::PSH | TcpFlags::ACK,
+        )
+        .payload(body.clone())
+        .build()
+        .unwrap();
+        let packet = Packet::decode(&bytes).unwrap();
+        assert_eq!(packet.payload, body);
+    }
+}

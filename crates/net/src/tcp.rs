@@ -1,0 +1,609 @@
+//! TCP header encoding, decoding, flags and the pseudo-header checksum.
+//!
+//! SYN-dog's entire observable is the six TCP flag bits: the outbound
+//! sniffer counts segments with `SYN` set and `ACK` clear, the inbound
+//! sniffer counts segments with both `SYN` and `ACK` set. [`TcpFlags`]
+//! models those bits; [`TcpHeader`] provides complete encode/decode with
+//! options and the IPv4 pseudo-header checksum of RFC 793.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::NetError;
+use crate::ipv4::{checksum_accumulate, checksum_finish, PROTO_TCP};
+
+/// Minimum (option-less) TCP header length in bytes.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// Maximum TCP header length in bytes (data offset = 15).
+pub const MAX_HEADER_LEN: usize = 60;
+
+/// The six TCP flag bits (RFC 793), plus helpers for the combinations the
+/// paper's classifier cares about.
+///
+/// ```
+/// use syndog_net::TcpFlags;
+/// let synack = TcpFlags::SYN | TcpFlags::ACK;
+/// assert!(synack.is_syn_ack());
+/// assert!(!synack.is_pure_syn());
+/// assert_eq!(synack.to_string(), "SYN|ACK");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN — sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN — synchronize sequence numbers (connection request).
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST — reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH — push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK — acknowledgment field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG — urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Builds flags from the low six bits of `bits`.
+    pub const fn from_bits_truncate(bits: u8) -> Self {
+        TcpFlags(bits & 0x3f)
+    }
+
+    /// The raw bits as carried in the header.
+    pub const fn bits(&self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if every flag in `other` is set in `self`.
+    pub const fn contains(&self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if any flag in `other` is set in `self`.
+    pub const fn intersects(&self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// A connection request: SYN set, ACK (and RST/FIN) clear.
+    pub const fn is_pure_syn(&self) -> bool {
+        self.contains(TcpFlags::SYN)
+            && !self.intersects(TcpFlags(
+                TcpFlags::ACK.0 | TcpFlags::RST.0 | TcpFlags::FIN.0,
+            ))
+    }
+
+    /// The server half of the handshake: both SYN and ACK set.
+    pub const fn is_syn_ack(&self) -> bool {
+        self.contains(TcpFlags(TcpFlags::SYN.0 | TcpFlags::ACK.0))
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for TcpFlags {
+    type Output = TcpFlags;
+
+    fn bitand(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            return write!(f, "(none)");
+        }
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::URG, "URG"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A TCP option as carried in the variable-length option area.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TcpOption {
+    /// End of option list (kind 0).
+    EndOfOptions,
+    /// No-operation padding (kind 1).
+    Nop,
+    /// Maximum segment size (kind 2).
+    Mss(u16),
+    /// Window scale shift count (kind 3).
+    WindowScale(u8),
+    /// SACK permitted (kind 4).
+    SackPermitted,
+    /// Timestamps: TSval, TSecr (kind 8).
+    Timestamps(u32, u32),
+    /// Any other option, kept raw: (kind, payload).
+    Unknown(u8, Vec<u8>),
+}
+
+impl TcpOption {
+    fn encoded_len(&self) -> usize {
+        match self {
+            TcpOption::EndOfOptions | TcpOption::Nop => 1,
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Timestamps(..) => 10,
+            TcpOption::Unknown(_, payload) => 2 + payload.len(),
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TcpOption::EndOfOptions => buf.push(0),
+            TcpOption::Nop => buf.push(1),
+            TcpOption::Mss(mss) => {
+                buf.extend_from_slice(&[2, 4]);
+                buf.extend_from_slice(&mss.to_be_bytes());
+            }
+            TcpOption::WindowScale(shift) => buf.extend_from_slice(&[3, 3, *shift]),
+            TcpOption::SackPermitted => buf.extend_from_slice(&[4, 2]),
+            TcpOption::Timestamps(tsval, tsecr) => {
+                buf.extend_from_slice(&[8, 10]);
+                buf.extend_from_slice(&tsval.to_be_bytes());
+                buf.extend_from_slice(&tsecr.to_be_bytes());
+            }
+            TcpOption::Unknown(kind, payload) => {
+                buf.push(*kind);
+                buf.push((2 + payload.len()) as u8);
+                buf.extend_from_slice(payload);
+            }
+        }
+    }
+
+    /// Parses the option list from the raw option area.
+    fn parse_all(mut bytes: &[u8]) -> Result<Vec<TcpOption>, NetError> {
+        let mut options = Vec::new();
+        while let Some((&kind, rest)) = bytes.split_first() {
+            match kind {
+                0 => {
+                    options.push(TcpOption::EndOfOptions);
+                    break;
+                }
+                1 => {
+                    options.push(TcpOption::Nop);
+                    bytes = rest;
+                }
+                _ => {
+                    let (&len, payload_start) = rest.split_first().ok_or(NetError::Truncated {
+                        layer: "tcp options",
+                        needed: 2,
+                        available: 1,
+                    })?;
+                    let len = usize::from(len);
+                    if len < 2 || len > bytes.len() {
+                        return Err(NetError::InvalidField {
+                            layer: "tcp options",
+                            field: "length",
+                            value: len as u64,
+                        });
+                    }
+                    let payload = &payload_start[..len - 2];
+                    let option = match (kind, len) {
+                        (2, 4) => TcpOption::Mss(u16::from_be_bytes([payload[0], payload[1]])),
+                        (3, 3) => TcpOption::WindowScale(payload[0]),
+                        (4, 2) => TcpOption::SackPermitted,
+                        (8, 10) => TcpOption::Timestamps(
+                            u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]),
+                            u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]),
+                        ),
+                        _ => TcpOption::Unknown(kind, payload.to_vec()),
+                    };
+                    options.push(option);
+                    bytes = &bytes[len..];
+                }
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// A decoded TCP header.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (significant only when ACK is set).
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as carried on the wire (0 before encoding).
+    pub checksum: u16,
+    /// Urgent pointer (significant only when URG is set).
+    pub urgent: u16,
+    /// Options, in order.
+    pub options: Vec<TcpOption>,
+}
+
+impl TcpHeader {
+    /// Creates a connection-request (pure SYN) header.
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: vec![TcpOption::Mss(1460)],
+        }
+    }
+
+    /// Creates the server's SYN/ACK answer to a SYN with sequence `peer_seq`.
+    pub fn syn_ack(src_port: u16, dst_port: u16, seq: u32, peer_seq: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack: peer_seq.wrapping_add(1),
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: vec![TcpOption::Mss(1460)],
+        }
+    }
+
+    /// Creates a bare ACK segment.
+    pub fn ack(src_port: u16, dst_port: u16, seq: u32, ack: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags::ACK,
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Creates an RST segment (as sent by a host receiving an unexpected
+    /// SYN/ACK — the reason spoofed sources must be unreachable, §1).
+    pub fn rst(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::RST,
+            window: 0,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Creates a FIN/ACK segment for connection teardown.
+    pub fn fin_ack(src_port: u16, dst_port: u16, seq: u32, ack: u32) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags::FIN | TcpFlags::ACK,
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length in bytes including options, padded to 4-byte words.
+    pub fn header_len(&self) -> usize {
+        let options_len: usize = self.options.iter().map(TcpOption::encoded_len).sum();
+        MIN_HEADER_LEN + options_len.div_ceil(4) * 4
+    }
+
+    /// The data-offset field value (32-bit words).
+    pub fn data_offset(&self) -> u8 {
+        (self.header_len() / 4) as u8
+    }
+
+    /// Appends the wire representation to `buf`, computing the checksum over
+    /// the pseudo-header, this header and `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Oversize`] if the options exceed 40 bytes.
+    pub fn encode(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        buf: &mut Vec<u8>,
+    ) -> Result<(), NetError> {
+        if self.header_len() > MAX_HEADER_LEN {
+            return Err(NetError::Oversize {
+                layer: "tcp options",
+                limit: MAX_HEADER_LEN - MIN_HEADER_LEN,
+                requested: self.header_len() - MIN_HEADER_LEN,
+            });
+        }
+        let start = buf.len();
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.ack.to_be_bytes());
+        buf.push(self.data_offset() << 4);
+        buf.push(self.flags.bits());
+        buf.extend_from_slice(&self.window.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.urgent.to_be_bytes());
+        for option in &self.options {
+            option.encode(buf);
+        }
+        while !(buf.len() - start).is_multiple_of(4) {
+            buf.push(0);
+        }
+        buf.extend_from_slice(payload);
+        let checksum = pseudo_header_checksum(src, dst, &buf[start..]);
+        buf[start + 16..start + 18].copy_from_slice(&checksum.to_be_bytes());
+        Ok(())
+    }
+
+    /// Decodes a header from the front of `segment`, returning the header
+    /// and the payload slice.
+    ///
+    /// When `verify` carries the IPv4 addresses, the pseudo-header checksum
+    /// is validated over the whole `segment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`], [`NetError::InvalidField`] (bad data
+    /// offset or malformed option), or [`NetError::BadChecksum`].
+    pub fn decode(
+        segment: &[u8],
+        verify: Option<(Ipv4Addr, Ipv4Addr)>,
+    ) -> Result<(Self, &[u8]), NetError> {
+        if segment.len() < MIN_HEADER_LEN {
+            return Err(NetError::Truncated {
+                layer: "tcp",
+                needed: MIN_HEADER_LEN,
+                available: segment.len(),
+            });
+        }
+        let data_offset = usize::from(segment[12] >> 4);
+        let header_len = data_offset * 4;
+        if !(MIN_HEADER_LEN..=MAX_HEADER_LEN).contains(&header_len) {
+            return Err(NetError::InvalidField {
+                layer: "tcp",
+                field: "data_offset",
+                value: data_offset as u64,
+            });
+        }
+        if segment.len() < header_len {
+            return Err(NetError::Truncated {
+                layer: "tcp",
+                needed: header_len,
+                available: segment.len(),
+            });
+        }
+        if let Some((src, dst)) = verify {
+            let computed = pseudo_header_checksum(src, dst, segment);
+            if computed != 0 {
+                let found = u16::from_be_bytes([segment[16], segment[17]]);
+                let mut copy = segment.to_vec();
+                copy[16] = 0;
+                copy[17] = 0;
+                return Err(NetError::BadChecksum {
+                    layer: "tcp",
+                    found,
+                    expected: pseudo_header_checksum(src, dst, &copy),
+                });
+            }
+        }
+        let header = TcpHeader {
+            src_port: u16::from_be_bytes([segment[0], segment[1]]),
+            dst_port: u16::from_be_bytes([segment[2], segment[3]]),
+            seq: u32::from_be_bytes([segment[4], segment[5], segment[6], segment[7]]),
+            ack: u32::from_be_bytes([segment[8], segment[9], segment[10], segment[11]]),
+            flags: TcpFlags::from_bits_truncate(segment[13]),
+            window: u16::from_be_bytes([segment[14], segment[15]]),
+            checksum: u16::from_be_bytes([segment[16], segment[17]]),
+            urgent: u16::from_be_bytes([segment[18], segment[19]]),
+            options: TcpOption::parse_all(&segment[MIN_HEADER_LEN..header_len])?,
+        };
+        Ok((header, &segment[header_len..]))
+    }
+}
+
+/// Computes the RFC 793 checksum over the IPv4 pseudo-header and `segment`
+/// (TCP header + payload). The checksum field inside `segment` must be zero
+/// when computing, or left in place when verifying (result 0 = valid).
+pub fn pseudo_header_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> u16 {
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&src.octets());
+    pseudo[4..8].copy_from_slice(&dst.octets());
+    pseudo[9] = PROTO_TCP;
+    pseudo[10..12].copy_from_slice(&(segment.len() as u16).to_be_bytes());
+    let acc = checksum_accumulate(0, &pseudo);
+    checksum_finish(checksum_accumulate(acc, segment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(152, 2, 9, 41);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 80);
+
+    #[test]
+    fn flag_combinations() {
+        assert!(TcpFlags::SYN.is_pure_syn());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).is_pure_syn());
+        assert!(!(TcpFlags::SYN | TcpFlags::RST).is_pure_syn());
+        assert!(!(TcpFlags::SYN | TcpFlags::FIN).is_pure_syn());
+        assert!((TcpFlags::SYN | TcpFlags::ACK).is_syn_ack());
+        assert!((TcpFlags::SYN | TcpFlags::ACK | TcpFlags::PSH).is_syn_ack());
+        assert!(!TcpFlags::ACK.is_syn_ack());
+        assert!(!TcpFlags::EMPTY.is_pure_syn());
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::EMPTY.to_string(), "(none)");
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::RST.to_string(), "RST");
+    }
+
+    #[test]
+    fn from_bits_truncates_reserved_bits() {
+        let flags = TcpFlags::from_bits_truncate(0xff);
+        assert_eq!(flags.bits(), 0x3f);
+    }
+
+    #[test]
+    fn syn_constructor_shape() {
+        let syn = TcpHeader::syn(1025, 80, 7);
+        assert!(syn.flags.is_pure_syn());
+        assert_eq!(syn.header_len(), 24); // MSS option padded to 4 bytes
+        assert_eq!(syn.data_offset(), 6);
+    }
+
+    #[test]
+    fn syn_ack_acks_isn_plus_one() {
+        let sa = TcpHeader::syn_ack(80, 1025, 99, u32::MAX);
+        assert_eq!(sa.ack, 0); // wrapping
+        assert!(sa.flags.is_syn_ack());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_payload_and_checksum() {
+        let hdr = TcpHeader::syn(1025, 80, 0xdeadbeef);
+        let mut buf = Vec::new();
+        hdr.encode(SRC, DST, b"hello", &mut buf).unwrap();
+        let (decoded, payload) = TcpHeader::decode(&buf, Some((SRC, DST))).unwrap();
+        assert_eq!(decoded.src_port, 1025);
+        assert_eq!(decoded.dst_port, 80);
+        assert_eq!(decoded.seq, 0xdeadbeef);
+        assert_eq!(decoded.flags, TcpFlags::SYN);
+        assert_eq!(decoded.options, vec![TcpOption::Mss(1460)]);
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let hdr = TcpHeader::ack(1, 2, 3, 4);
+        let mut buf = Vec::new();
+        hdr.encode(SRC, DST, b"data!", &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = TcpHeader::decode(&buf, Some((SRC, DST))).unwrap_err();
+        assert!(matches!(err, NetError::BadChecksum { layer: "tcp", .. }));
+    }
+
+    #[test]
+    fn checksum_depends_on_pseudo_header_addresses() {
+        let hdr = TcpHeader::ack(1, 2, 3, 4);
+        let mut buf = Vec::new();
+        hdr.encode(SRC, DST, &[], &mut buf).unwrap();
+        // Note: swapping src and dst does NOT change the checksum (ones'-
+        // complement addition is commutative), but substituting a different
+        // address must fail verification.
+        assert!(TcpHeader::decode(&buf, Some((DST, SRC))).is_ok());
+        let other = Ipv4Addr::new(8, 8, 8, 8);
+        let err = TcpHeader::decode(&buf, Some((other, DST))).unwrap_err();
+        assert!(matches!(err, NetError::BadChecksum { .. }));
+    }
+
+    #[test]
+    fn option_roundtrip_all_kinds() {
+        let mut hdr = TcpHeader::syn(1, 2, 3);
+        hdr.options = vec![
+            TcpOption::Mss(1400),
+            TcpOption::Nop,
+            TcpOption::WindowScale(7),
+            TcpOption::SackPermitted,
+            TcpOption::Timestamps(0x01020304, 0x0a0b0c0d),
+            TcpOption::Unknown(253, vec![9, 9]),
+        ];
+        let mut buf = Vec::new();
+        hdr.encode(SRC, DST, &[], &mut buf).unwrap();
+        let (decoded, _) = TcpHeader::decode(&buf, Some((SRC, DST))).unwrap();
+        // Trailing EOO/NOP padding may be appended; compare the prefix.
+        assert_eq!(&decoded.options[..hdr.options.len()], &hdr.options[..]);
+    }
+
+    #[test]
+    fn malformed_option_length_rejected() {
+        let hdr = TcpHeader::ack(1, 2, 3, 4);
+        let mut buf = Vec::new();
+        hdr.encode(SRC, DST, &[], &mut buf).unwrap();
+        // Inflate data offset to 6 words and claim an option with bad length.
+        buf[12] = 6 << 4;
+        buf.splice(20..20, [2u8, 1, 0, 0]); // MSS with length 1 (< 2)
+        let err = TcpHeader::decode(&buf, None).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::InvalidField {
+                layer: "tcp options",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_segment_rejected() {
+        let err = TcpHeader::decode(&[0u8; 10], None).unwrap_err();
+        assert!(matches!(err, NetError::Truncated { layer: "tcp", .. }));
+    }
+
+    #[test]
+    fn data_offset_below_minimum_rejected() {
+        let hdr = TcpHeader::ack(1, 2, 3, 4);
+        let mut buf = Vec::new();
+        hdr.encode(SRC, DST, &[], &mut buf).unwrap();
+        buf[12] = 4 << 4;
+        let err = TcpHeader::decode(&buf, None).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::InvalidField {
+                field: "data_offset",
+                ..
+            }
+        ));
+    }
+}

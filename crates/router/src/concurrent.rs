@@ -1,0 +1,296 @@
+//! The two-thread deployment shape of Figure 2: one sniffer per interface,
+//! coordinating through shared state and channels.
+//!
+//! The paper's sniffers "coordinate with each other via shared memory, or
+//! IPC inside the router, and periodically exchange the counting
+//! information". [`ConcurrentSynDog`] reproduces that concretely: each
+//! interface runs a sniffer thread consuming raw frames from a bounded
+//! channel and bumping shared atomic-style counters (a `parking_lot`
+//! mutex over the two integers — the "shared memory"); a coordinator
+//! closes observation periods and feeds the detector.
+//!
+//! The single-threaded [`crate::agent::SynDogAgent`] is the right tool for
+//! experiments; this module exists to demonstrate (and test) that the
+//! design is race-free in its intended deployment shape.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use syndog::{Detection, PeriodCounts, SynDogConfig, SynDogDetector};
+use syndog_net::classify::classify;
+use syndog_net::SegmentKind;
+use syndog_traffic::trace::Direction;
+
+/// The shared-memory counter block both sniffer threads write and the
+/// coordinator drains.
+#[derive(Debug, Default)]
+struct SharedCounts {
+    outbound_syn: u64,
+    inbound_synack: u64,
+}
+
+/// One interface's sniffer thread handle.
+struct SnifferThread {
+    sender: Sender<Vec<u8>>,
+    handle: JoinHandle<u64>,
+}
+
+/// A concurrently-deployed SYN-dog: two sniffer threads plus an inline
+/// coordinator.
+pub struct ConcurrentSynDog {
+    counts: Arc<Mutex<SharedCounts>>,
+    outbound: SnifferThread,
+    inbound: SnifferThread,
+    detector: SynDogDetector,
+    detections: Vec<Detection>,
+}
+
+impl std::fmt::Debug for ConcurrentSynDog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentSynDog")
+            .field("periods", &self.detections.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn spawn_sniffer(
+    direction: Direction,
+    counts: Arc<Mutex<SharedCounts>>,
+    capacity: usize,
+) -> SnifferThread {
+    let (sender, receiver): (Sender<Vec<u8>>, Receiver<Vec<u8>>) = bounded(capacity);
+    let handle = std::thread::spawn(move || {
+        let mut frames = 0u64;
+        while let Ok(frame) = receiver.recv() {
+            frames += 1;
+            let Ok(kind) = classify(&frame) else { continue };
+            match (direction, kind) {
+                (Direction::Outbound, SegmentKind::Syn) => {
+                    counts.lock().outbound_syn += 1;
+                }
+                (Direction::Inbound, SegmentKind::SynAck) => {
+                    counts.lock().inbound_synack += 1;
+                }
+                _ => {}
+            }
+        }
+        frames
+    });
+    SnifferThread { sender, handle }
+}
+
+impl ConcurrentSynDog {
+    /// Starts both sniffer threads with the given channel capacity per
+    /// interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_capacity` is zero.
+    pub fn start(config: SynDogConfig, channel_capacity: usize) -> Self {
+        assert!(channel_capacity > 0, "channel capacity must be non-zero");
+        let counts = Arc::new(Mutex::new(SharedCounts::default()));
+        ConcurrentSynDog {
+            outbound: spawn_sniffer(Direction::Outbound, Arc::clone(&counts), channel_capacity),
+            inbound: spawn_sniffer(Direction::Inbound, Arc::clone(&counts), channel_capacity),
+            counts,
+            detector: SynDogDetector::new(config),
+            detections: Vec::new(),
+        }
+    }
+
+    /// Submits a raw frame to the sniffer on `direction`'s interface,
+    /// blocking if its channel is full (a real line card would drop
+    /// instead; blocking keeps tests deterministic).
+    pub fn submit(&self, direction: Direction, frame: Vec<u8>) {
+        let target = match direction {
+            Direction::Outbound => &self.outbound,
+            Direction::Inbound => &self.inbound,
+        };
+        target
+            .sender
+            .send(frame)
+            .expect("sniffer thread alive for the life of the agent");
+    }
+
+    /// Closes the current observation period: drains the shared counters
+    /// and runs the detector. The caller is the period clock (in a router
+    /// this is a 20 s timer).
+    ///
+    /// Note: callers must ensure previously submitted frames have been
+    /// consumed (e.g. via quiescence or their own barrier) if exact
+    /// attribution to this period matters; the sniffers and this drain are
+    /// otherwise racy *by design*, exactly like the real deployment — a
+    /// frame near the boundary may count toward either side, which the
+    /// CUSUM absorbs.
+    pub fn close_period(&mut self) -> Detection {
+        let sample = {
+            let mut counts = self.counts.lock();
+            let sample = PeriodCounts {
+                syn: counts.outbound_syn,
+                synack: counts.inbound_synack,
+            };
+            counts.outbound_syn = 0;
+            counts.inbound_synack = 0;
+            sample
+        };
+        let detection = self.detector.observe(sample);
+        self.detections.push(detection);
+        detection
+    }
+
+    /// All per-period detections so far.
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
+    }
+
+    /// Shuts both sniffer threads down and returns
+    /// `(outbound_frames, inbound_frames)` processed.
+    pub fn shutdown(self) -> (u64, u64) {
+        drop(self.outbound.sender);
+        drop(self.inbound.sender);
+        let out_frames = self
+            .outbound
+            .handle
+            .join()
+            .expect("outbound sniffer panicked");
+        let in_frames = self
+            .inbound
+            .handle
+            .join()
+            .expect("inbound sniffer panicked");
+        (out_frames, in_frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndog_net::packet::PacketBuilder;
+
+    fn syn_frame(i: u32) -> Vec<u8> {
+        PacketBuilder::tcp_syn(
+            std::net::SocketAddrV4::new(
+                std::net::Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                1025,
+            ),
+            "192.0.2.80:80".parse().unwrap(),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn synack_frame(i: u32) -> Vec<u8> {
+        PacketBuilder::tcp_syn_ack(
+            "192.0.2.80:80".parse().unwrap(),
+            std::net::SocketAddrV4::new(
+                std::net::Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                1025,
+            ),
+        )
+        .build()
+        .unwrap()
+    }
+
+    /// Quiesce by submitting and waiting for the shared count to reach the
+    /// expected totals (bounded spin with timeout).
+    fn wait_until(dog: &ConcurrentSynDog, syn: u64, synack: u64) {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            {
+                let counts = dog.counts.lock();
+                if counts.outbound_syn >= syn && counts.inbound_synack >= synack {
+                    return;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sniffer threads stalled"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 64);
+        for i in 0..1000 {
+            dog.submit(Direction::Outbound, syn_frame(i));
+            if i % 2 == 0 {
+                dog.submit(Direction::Inbound, synack_frame(i));
+            }
+        }
+        wait_until(&dog, 1000, 500);
+        let detection = dog.close_period();
+        assert_eq!(detection.delta, 500.0);
+        let (out_frames, in_frames) = dog.shutdown();
+        assert_eq!(out_frames, 1000);
+        assert_eq!(in_frames, 500);
+    }
+
+    #[test]
+    fn wrong_interface_traffic_not_counted() {
+        // A SYN arriving on the *inbound* interface (someone connecting
+        // into the stub) must not count.
+        let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 16);
+        dog.submit(Direction::Inbound, syn_frame(1));
+        dog.submit(Direction::Outbound, synack_frame(1));
+        // Quiesce via shutdown-then-inspect: close after both processed.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let drained = {
+                let counts = dog.counts.lock();
+                counts.outbound_syn == 0 && counts.inbound_synack == 0
+            };
+            if drained && std::time::Instant::now() > deadline - std::time::Duration::from_secs(9) {
+                break; // give threads ~1s to (not) count anything
+            }
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let (out_frames, in_frames) = {
+            let d = dog.close_period();
+            assert_eq!(d.delta, 0.0);
+            dog.shutdown()
+        };
+        assert_eq!(out_frames + in_frames, 2);
+    }
+
+    #[test]
+    fn flood_detected_across_threads() {
+        let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 1024);
+        // Period 0: balanced.
+        for i in 0..200 {
+            dog.submit(Direction::Outbound, syn_frame(i));
+            dog.submit(Direction::Inbound, synack_frame(i));
+        }
+        wait_until(&dog, 200, 200);
+        assert!(!dog.close_period().alarm);
+        // Periods 1..: flood — SYNs with no SYN/ACKs.
+        let mut alarmed = false;
+        for period in 0..4 {
+            for i in 0..500 {
+                dog.submit(Direction::Outbound, syn_frame(period * 500 + i));
+            }
+            wait_until(&dog, 500, 0);
+            alarmed |= dog.close_period().alarm;
+        }
+        assert!(alarmed, "cross-thread flood must alarm");
+        dog.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_do_not_kill_threads() {
+        let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 16);
+        dog.submit(Direction::Outbound, vec![0u8; 7]);
+        dog.submit(Direction::Outbound, syn_frame(1));
+        wait_until(&dog, 1, 0);
+        assert_eq!(dog.close_period().delta, 1.0);
+        let (out_frames, _) = dog.shutdown();
+        assert_eq!(out_frames, 2);
+    }
+}

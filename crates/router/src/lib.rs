@@ -1,0 +1,35 @@
+//! The leaf-router side of SYN-dog: sniffers, the detection agent, and
+//! flooding-source localization.
+//!
+//! §2 of the paper: "The SYN-dog consists of two Sniffers, which are
+//! installed at the inbound and outbound interfaces of a leaf router …
+//! The two sniffers coordinate with each other via shared memory, or IPC
+//! inside the router, and periodically exchange the counting information."
+//!
+//! - [`sniffer`] — the stateless per-interface counters, driven either by
+//!   raw frame bytes (through the packet classifier) or by pre-classified
+//!   trace records,
+//! - [`router`] — a simulated leaf router binding a stub network prefix to
+//!   its two sniffers and slicing time into observation periods,
+//! - [`agent`] — [`SynDogAgent`]: the full pipeline from a packet/record
+//!   stream to alarms, wrapping the core detector,
+//! - [`episodes`] — attack-episode extraction (onset / end / peak) from
+//!   the detection series, exploiting the CUSUM's climb-and-drain shape,
+//! - [`locate`] — §4.2.3's post-alarm source localization by per-MAC
+//!   accounting of spoofed-source SYNs,
+//! - [`concurrent`] — the two-thread shared-memory deployment shape
+//!   described in the paper, with sniffer threads feeding a coordinator
+//!   over channels.
+
+pub mod agent;
+pub mod concurrent;
+pub mod episodes;
+pub mod locate;
+pub mod router;
+pub mod sniffer;
+
+pub use agent::{Alarm, SynDogAgent};
+pub use episodes::{extract_episodes, AttackEpisode};
+pub use locate::SourceLocator;
+pub use router::LeafRouter;
+pub use sniffer::Sniffer;

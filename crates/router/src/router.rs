@@ -1,0 +1,263 @@
+//! A simulated leaf router connecting a stub network to the Internet.
+//!
+//! The router owns the two sniffers (Figure 2's structure), knows its stub
+//! prefix, and slices time into observation periods. It can be driven two
+//! ways:
+//!
+//! - **record-driven** — feed it [`TraceRecord`]s (already classified and
+//!   direction-tagged), the fast path used by the big experiments,
+//! - **frame-driven** — feed it raw Ethernet frames per interface, which
+//!   exercises the real §2 classifier on every packet.
+//!
+//! Period boundaries are handled exactly: a record at `t` lands in period
+//! `⌊t / t0⌋`, and [`LeafRouter::advance_to`] closes every period that
+//! ends at or before the new time, emitting one [`PeriodSample`] each.
+
+use syndog_net::Ipv4Net;
+use syndog_sim::{SimDuration, SimTime};
+use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
+
+use crate::sniffer::Sniffer;
+
+/// A leaf router with SYN-dog sniffers on both interfaces.
+#[derive(Debug, Clone)]
+pub struct LeafRouter {
+    stub: Ipv4Net,
+    period: SimDuration,
+    outbound: Sniffer,
+    inbound: Sniffer,
+    current_period: u64,
+}
+
+impl LeafRouter {
+    /// Creates a router for the given stub prefix and observation period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(stub: Ipv4Net, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "observation period must be non-zero");
+        LeafRouter {
+            stub,
+            period,
+            outbound: Sniffer::new(Direction::Outbound),
+            inbound: Sniffer::new(Direction::Inbound),
+            current_period: 0,
+        }
+    }
+
+    /// The stub network this router serves.
+    pub fn stub(&self) -> Ipv4Net {
+        self.stub
+    }
+
+    /// The observation period `t0`.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Index of the period currently being accumulated.
+    pub fn current_period(&self) -> u64 {
+        self.current_period
+    }
+
+    /// The sniffer on the given interface.
+    pub fn sniffer(&self, direction: Direction) -> &Sniffer {
+        match direction {
+            Direction::Outbound => &self.outbound,
+            Direction::Inbound => &self.inbound,
+        }
+    }
+
+    /// Advances the router clock to `now`, closing every period that ends
+    /// at or before it and pushing one sample per closed period into
+    /// `out` (empty periods included — silence is data).
+    pub fn advance_to(&mut self, now: SimTime, out: &mut Vec<PeriodSample>) {
+        let target = now.period_index(self.period);
+        while self.current_period < target {
+            out.push(self.take_period_sample());
+        }
+    }
+
+    /// Closes the current period unconditionally and returns its sample:
+    /// outbound SYNs paired with inbound SYN/ACKs, per §3.1.
+    pub fn take_period_sample(&mut self) -> PeriodSample {
+        let out_counts = self.outbound.take_counts();
+        let in_counts = self.inbound.take_counts();
+        self.current_period += 1;
+        PeriodSample {
+            syn: out_counts.syn,
+            synack: in_counts.synack,
+        }
+    }
+
+    /// Record-driven input: routes one pre-classified record to the right
+    /// sniffer. Records must arrive in time order; call
+    /// [`LeafRouter::advance_to`] with the record's time first (or use
+    /// [`LeafRouter::run_trace`], which does both).
+    pub fn observe_record(&mut self, record: &TraceRecord) {
+        match record.direction {
+            Direction::Outbound => self.outbound.observe_kind(record.kind),
+            Direction::Inbound => self.inbound.observe_kind(record.kind),
+        }
+    }
+
+    /// Frame-driven input: classifies one raw frame arriving on the given
+    /// interface.
+    pub fn observe_frame(&mut self, direction: Direction, frame: &[u8]) {
+        match direction {
+            Direction::Outbound => self.outbound.observe_frame(frame),
+            Direction::Inbound => self.inbound.observe_frame(frame),
+        }
+    }
+
+    /// Runs a whole trace through the router, returning one sample per
+    /// observation period covering the trace's full duration.
+    pub fn run_trace(&mut self, trace: &Trace) -> Vec<PeriodSample> {
+        let base = self.current_period;
+        let total_periods = trace
+            .duration()
+            .as_micros()
+            .div_ceil(self.period.as_micros());
+        let last = base + total_periods;
+        let mut samples = Vec::new();
+        for record in trace.records() {
+            // Handshake tails may extend past the trace's nominal
+            // duration; like Trace::period_counts, ignore them.
+            if record.time.period_index(self.period) >= last {
+                continue;
+            }
+            self.advance_to(record.time, &mut samples);
+            self.observe_record(record);
+        }
+        while self.current_period < last {
+            samples.push(self.take_period_sample());
+        }
+        samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndog_net::SegmentKind;
+
+    fn stub() -> Ipv4Net {
+        "10.1.0.0/16".parse().unwrap()
+    }
+
+    fn rec(secs: f64, direction: Direction, kind: SegmentKind) -> TraceRecord {
+        TraceRecord::new(
+            SimTime::from_secs_f64(secs),
+            direction,
+            kind,
+            "10.1.0.5:1025".parse().unwrap(),
+            "192.0.2.80:80".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn run_trace_bins_per_period() {
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let trace = Trace::from_records(
+            vec![
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+                rec(2.0, Direction::Inbound, SegmentKind::SynAck),
+                rec(21.0, Direction::Outbound, SegmentKind::Syn),
+                rec(22.0, Direction::Outbound, SegmentKind::Syn),
+                rec(59.0, Direction::Inbound, SegmentKind::SynAck),
+            ],
+            SimDuration::from_secs(60),
+        );
+        let samples = router.run_trace(&trace);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0], PeriodSample { syn: 1, synack: 1 });
+        assert_eq!(samples[1], PeriodSample { syn: 2, synack: 0 });
+        assert_eq!(samples[2], PeriodSample { syn: 0, synack: 1 });
+    }
+
+    #[test]
+    fn run_trace_agrees_with_trace_period_counts() {
+        use syndog_sim::SimRng;
+        use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(17);
+        let trace = site.generate_trace(&mut rng);
+        let mut router = LeafRouter::new(site.stub(), OBSERVATION_PERIOD);
+        let by_router = router.run_trace(&trace);
+        let by_trace = trace.period_counts(OBSERVATION_PERIOD);
+        assert_eq!(by_router, by_trace);
+    }
+
+    #[test]
+    fn directional_discipline() {
+        // A SYN arriving *inbound* (someone connecting into the stub) must
+        // not count toward the outbound SYN tally, and vice versa.
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let trace = Trace::from_records(
+            vec![
+                rec(1.0, Direction::Inbound, SegmentKind::Syn),
+                rec(2.0, Direction::Outbound, SegmentKind::SynAck),
+            ],
+            SimDuration::from_secs(20),
+        );
+        let samples = router.run_trace(&trace);
+        assert_eq!(samples, vec![PeriodSample { syn: 0, synack: 0 }]);
+    }
+
+    #[test]
+    fn empty_periods_are_emitted() {
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let trace = Trace::from_records(
+            vec![rec(90.0, Direction::Outbound, SegmentKind::Syn)],
+            SimDuration::from_secs(100),
+        );
+        let samples = router.run_trace(&trace);
+        assert_eq!(samples.len(), 5);
+        assert!(samples[..4].iter().all(|s| *s == PeriodSample::default()));
+        assert_eq!(samples[4].syn, 1);
+    }
+
+    #[test]
+    fn boundary_record_lands_in_next_period() {
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let trace = Trace::from_records(
+            vec![rec(20.0, Direction::Outbound, SegmentKind::Syn)],
+            SimDuration::from_secs(40),
+        );
+        let samples = router.run_trace(&trace);
+        assert_eq!(samples[0].syn, 0);
+        assert_eq!(samples[1].syn, 1);
+    }
+
+    #[test]
+    fn frame_driven_input() {
+        use syndog_net::packet::PacketBuilder;
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let syn = PacketBuilder::tcp_syn(
+            "10.1.0.5:1025".parse().unwrap(),
+            "192.0.2.80:80".parse().unwrap(),
+        )
+        .build()
+        .unwrap();
+        let synack = PacketBuilder::tcp_syn_ack(
+            "192.0.2.80:80".parse().unwrap(),
+            "10.1.0.5:1025".parse().unwrap(),
+        )
+        .build()
+        .unwrap();
+        router.observe_frame(Direction::Outbound, &syn);
+        router.observe_frame(Direction::Inbound, &synack);
+        assert_eq!(
+            router.take_period_sample(),
+            PeriodSample { syn: 1, synack: 1 }
+        );
+        assert_eq!(router.current_period(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = LeafRouter::new(stub(), SimDuration::ZERO);
+    }
+}

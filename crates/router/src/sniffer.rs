@@ -1,0 +1,212 @@
+//! The per-interface sniffer: a stateless pair of counters.
+//!
+//! "Neither state nor state computation is involved in our SYN-dog. Only
+//! two new variables are introduced to measure the number of received SYN
+//! and SYN/ACK packets at the inbound and outbound interfaces" (§1). A
+//! [`Sniffer`] is exactly that: it classifies each frame with the §2
+//! algorithm and bumps one of two counters. Its memory footprint is
+//! constant no matter how hard it is flooded — the property that makes
+//! SYN-dog itself immune to the attacks it detects.
+
+use syndog_net::classify::{classify, SegmentKind};
+use syndog_net::NetError;
+use syndog_traffic::trace::{Direction, PeriodSample};
+
+/// A stateless SYN / SYN-ACK counter for one router interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sniffer {
+    direction: Direction,
+    syn: u64,
+    synack: u64,
+    frames_seen: u64,
+    malformed: u64,
+}
+
+impl Sniffer {
+    /// Creates a sniffer for the given interface direction.
+    ///
+    /// By the paper's arrangement, the *outbound* sniffer's SYN count and
+    /// the *inbound* sniffer's SYN/ACK count are what the detector
+    /// consumes; both counters exist on both interfaces so bidirectional
+    /// sites (LBL, Harvard) can be measured too.
+    pub fn new(direction: Direction) -> Self {
+        Sniffer {
+            direction,
+            syn: 0,
+            synack: 0,
+            frames_seen: 0,
+            malformed: 0,
+        }
+    }
+
+    /// The interface this sniffer watches.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Classifies one raw Ethernet frame and updates the counters.
+    ///
+    /// Malformed frames are counted separately and otherwise ignored: a
+    /// sniffer on a live interface must never fail.
+    pub fn observe_frame(&mut self, frame: &[u8]) {
+        match classify(frame) {
+            Ok(kind) => self.observe_kind(kind),
+            Err(_) => {
+                self.frames_seen += 1;
+                self.malformed += 1;
+            }
+        }
+    }
+
+    /// Classifies one raw frame, reporting classification errors to the
+    /// caller while still counting the frame. Useful in tests and
+    /// diagnostics; the production path is [`Sniffer::observe_frame`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the classification error for malformed frames.
+    pub fn try_observe_frame(&mut self, frame: &[u8]) -> Result<SegmentKind, NetError> {
+        match classify(frame) {
+            Ok(kind) => {
+                self.observe_kind(kind);
+                Ok(kind)
+            }
+            Err(err) => {
+                self.frames_seen += 1;
+                self.malformed += 1;
+                Err(err)
+            }
+        }
+    }
+
+    /// Records an already-classified segment (the trace-driven path).
+    pub fn observe_kind(&mut self, kind: SegmentKind) {
+        self.frames_seen += 1;
+        match kind {
+            SegmentKind::Syn => self.syn += 1,
+            SegmentKind::SynAck => self.synack += 1,
+            _ => {}
+        }
+    }
+
+    /// Current SYN count since the last [`Sniffer::take_counts`].
+    pub fn syn_count(&self) -> u64 {
+        self.syn
+    }
+
+    /// Current SYN/ACK count since the last [`Sniffer::take_counts`].
+    pub fn synack_count(&self) -> u64 {
+        self.synack
+    }
+
+    /// Total frames observed (lifetime, not reset by `take_counts`).
+    pub fn frames_seen(&self) -> u64 {
+        self.frames_seen
+    }
+
+    /// Frames that failed classification (lifetime).
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Returns the period's counts and resets them — the "periodically
+    /// exchange the counting information" step.
+    pub fn take_counts(&mut self) -> PeriodSample {
+        let sample = PeriodSample {
+            syn: self.syn,
+            synack: self.synack,
+        };
+        self.syn = 0;
+        self.synack = 0;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndog_net::packet::PacketBuilder;
+    use syndog_net::TcpFlags;
+
+    fn frame(flags: TcpFlags) -> Vec<u8> {
+        PacketBuilder::tcp(
+            "10.0.0.1:1025".parse().unwrap(),
+            "192.0.2.80:80".parse().unwrap(),
+            flags,
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_only_handshake_signals() {
+        let mut sniffer = Sniffer::new(Direction::Outbound);
+        sniffer.observe_frame(&frame(TcpFlags::SYN));
+        sniffer.observe_frame(&frame(TcpFlags::SYN | TcpFlags::ACK));
+        sniffer.observe_frame(&frame(TcpFlags::ACK));
+        sniffer.observe_frame(&frame(TcpFlags::RST));
+        sniffer.observe_frame(&frame(TcpFlags::FIN | TcpFlags::ACK));
+        assert_eq!(sniffer.syn_count(), 1);
+        assert_eq!(sniffer.synack_count(), 1);
+        assert_eq!(sniffer.frames_seen(), 5);
+        assert_eq!(sniffer.malformed(), 0);
+    }
+
+    #[test]
+    fn take_counts_resets_period_counters_only() {
+        let mut sniffer = Sniffer::new(Direction::Inbound);
+        for _ in 0..3 {
+            sniffer.observe_frame(&frame(TcpFlags::SYN));
+        }
+        let sample = sniffer.take_counts();
+        assert_eq!(sample, PeriodSample { syn: 3, synack: 0 });
+        assert_eq!(sniffer.syn_count(), 0);
+        assert_eq!(sniffer.frames_seen(), 3, "lifetime counter survives");
+        sniffer.observe_frame(&frame(TcpFlags::SYN));
+        assert_eq!(sniffer.take_counts().syn, 1);
+    }
+
+    #[test]
+    fn malformed_frames_never_panic_or_count_as_handshake() {
+        let mut sniffer = Sniffer::new(Direction::Outbound);
+        sniffer.observe_frame(&[0u8; 3]);
+        sniffer.observe_frame(&[]);
+        let truncated = &frame(TcpFlags::SYN)[..20];
+        sniffer.observe_frame(truncated);
+        assert_eq!(sniffer.syn_count(), 0);
+        assert_eq!(sniffer.malformed(), 3);
+        assert!(sniffer.try_observe_frame(&[0u8; 3]).is_err());
+        assert_eq!(sniffer.malformed(), 4);
+    }
+
+    #[test]
+    fn state_size_is_constant_under_flood() {
+        // The statelessness claim, made concrete: the sniffer's size does
+        // not depend on how many packets (or distinct sources) it has seen.
+        let mut sniffer = Sniffer::new(Direction::Outbound);
+        let before = std::mem::size_of_val(&sniffer);
+        for i in 0..10_000u32 {
+            let syn = PacketBuilder::tcp_syn(
+                std::net::SocketAddrV4::new(std::net::Ipv4Addr::from(i), 1024),
+                "192.0.2.80:80".parse().unwrap(),
+            )
+            .build()
+            .unwrap();
+            sniffer.observe_frame(&syn);
+        }
+        assert_eq!(std::mem::size_of_val(&sniffer), before);
+        assert_eq!(sniffer.syn_count(), 10_000);
+    }
+
+    #[test]
+    fn observe_kind_matches_observe_frame() {
+        let mut by_frame = Sniffer::new(Direction::Outbound);
+        let mut by_kind = Sniffer::new(Direction::Outbound);
+        for flags in [TcpFlags::SYN, TcpFlags::SYN | TcpFlags::ACK, TcpFlags::ACK] {
+            let f = frame(flags);
+            by_frame.observe_frame(&f);
+            by_kind.observe_kind(syndog_net::classify(&f).unwrap());
+        }
+        assert_eq!(by_frame.take_counts(), by_kind.take_counts());
+    }
+}

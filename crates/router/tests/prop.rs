@@ -1,0 +1,104 @@
+//! Property-based tests for the router and agent.
+
+use proptest::prelude::*;
+use syndog::{PeriodCounts, SynDogConfig, SynDogDetector};
+use syndog_net::SegmentKind;
+use syndog_router::{LeafRouter, SynDogAgent};
+use syndog_sim::{SimDuration, SimTime};
+use syndog_traffic::trace::{Direction, Trace, TraceRecord};
+
+fn stub() -> syndog_net::Ipv4Net {
+    "10.0.0.0/8".parse().unwrap()
+}
+
+fn record(time_s: u64, direction: Direction, kind: SegmentKind) -> TraceRecord {
+    TraceRecord::new(
+        SimTime::from_secs(time_s),
+        direction,
+        kind,
+        "10.0.0.5:1025".parse().unwrap(),
+        "192.0.2.80:80".parse().unwrap(),
+    )
+}
+
+fn arb_kind() -> impl Strategy<Value = SegmentKind> {
+    prop_oneof![
+        Just(SegmentKind::Syn),
+        Just(SegmentKind::SynAck),
+        Just(SegmentKind::Ack),
+        Just(SegmentKind::Fin),
+        Just(SegmentKind::Rst),
+        Just(SegmentKind::NonTcp),
+    ]
+}
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Inbound), Just(Direction::Outbound)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The router's period samples equal the trace's own aggregation for
+    /// arbitrary record mixes.
+    #[test]
+    fn router_agrees_with_trace_aggregation(
+        events in proptest::collection::vec((0u64..200, arb_direction(), arb_kind()), 0..300),
+    ) {
+        let records: Vec<TraceRecord> =
+            events.iter().map(|&(t, d, k)| record(t, d, k)).collect();
+        let trace = Trace::from_records(records, SimDuration::from_secs(200));
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let by_router = router.run_trace(&trace);
+        let by_trace = trace.period_counts(SimDuration::from_secs(20));
+        prop_assert_eq!(by_router, by_trace);
+    }
+
+    /// Counting is linear: a merged trace yields the sum of each trace's
+    /// counts per period.
+    #[test]
+    fn counting_is_linear_under_merge(
+        a in proptest::collection::vec((0u64..100, arb_direction(), arb_kind()), 0..100),
+        b in proptest::collection::vec((0u64..100, arb_direction(), arb_kind()), 0..100),
+    ) {
+        let ta = Trace::from_records(
+            a.iter().map(|&(t, d, k)| record(t, d, k)).collect(),
+            SimDuration::from_secs(100),
+        );
+        let tb = Trace::from_records(
+            b.iter().map(|&(t, d, k)| record(t, d, k)).collect(),
+            SimDuration::from_secs(100),
+        );
+        let mut merged = ta.clone();
+        merged.merge(&tb);
+        let ca = ta.period_counts(SimDuration::from_secs(20));
+        let cb = tb.period_counts(SimDuration::from_secs(20));
+        let cm = merged.period_counts(SimDuration::from_secs(20));
+        for ((sa, sb), sm) in ca.iter().zip(&cb).zip(&cm) {
+            prop_assert_eq!(sa.syn + sb.syn, sm.syn);
+            prop_assert_eq!(sa.synack + sb.synack, sm.synack);
+        }
+    }
+
+    /// Agent batch run equals feeding the detector the aggregated counts
+    /// directly — the router adds binning, never arithmetic.
+    #[test]
+    fn agent_equals_detector_on_aggregates(
+        events in proptest::collection::vec((0u64..200, arb_direction(), arb_kind()), 0..200),
+    ) {
+        let records: Vec<TraceRecord> =
+            events.iter().map(|&(t, d, k)| record(t, d, k)).collect();
+        let trace = Trace::from_records(records, SimDuration::from_secs(200));
+        let mut agent = SynDogAgent::new(stub(), SynDogConfig::paper_default());
+        let via_agent = agent.run_trace(&trace);
+        let mut detector = SynDogDetector::new(SynDogConfig::paper_default());
+        for (sample, agent_detection) in trace
+            .period_counts(SimDuration::from_secs(20))
+            .iter()
+            .zip(via_agent.iter())
+        {
+            let direct = detector.observe(PeriodCounts { syn: sample.syn, synack: sample.synack });
+            prop_assert_eq!(&direct, agent_detection);
+        }
+    }
+}

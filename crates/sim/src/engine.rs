@@ -1,0 +1,227 @@
+//! The simulation driver: a clock plus an event queue plus a handler.
+//!
+//! [`Simulator`] owns simulated time. Handlers receive each event together
+//! with a [`Context`] through which they can schedule follow-up events —
+//! this is how TCP retransmission timers, observation-period ticks and
+//! flood bursts are all expressed.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling interface handed to event handlers.
+///
+/// A `Context` borrows the simulator's queue while a handler runs; events
+/// scheduled through it are delivered in the same run.
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stopped: &'a mut bool,
+}
+
+impl<E> Context<'_, E> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past: causality violations are programming
+    /// errors, not recoverable conditions.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.queue.schedule(time, event);
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.queue.schedule(at, event);
+    }
+
+    /// Stops the run after the current handler returns, leaving later
+    /// events pending.
+    pub fn stop(&mut self) {
+        *self.stopped = true;
+    }
+}
+
+impl<E> std::fmt::Debug for Context<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context").field("now", &self.now).finish()
+    }
+}
+
+/// A discrete-event simulator over event type `E`.
+///
+/// ```
+/// use syndog_sim::{Simulator, SimTime, SimDuration};
+///
+/// // Count down: each event schedules its successor 1s later.
+/// let mut sim = Simulator::new();
+/// sim.schedule(SimTime::ZERO, 3u32);
+/// let mut seen = Vec::new();
+/// sim.run(|ctx, n| {
+///     seen.push((ctx.now().as_secs_f64(), n));
+///     if n > 0 {
+///         ctx.schedule_in(SimDuration::from_secs(1), n - 1);
+///     }
+/// });
+/// assert_eq!(seen, vec![(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Simulator<E> {
+    /// Creates a simulator at time zero with an empty queue.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last delivered
+    /// event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an initial event at an absolute time.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        self.queue.schedule(time, event);
+    }
+
+    /// Runs until the queue drains or a handler calls [`Context::stop`].
+    pub fn run<F>(&mut self, handler: F)
+    where
+        F: FnMut(&mut Context<'_, E>, E),
+    {
+        self.run_until(SimTime::MAX, handler);
+    }
+
+    /// Runs until the queue drains, a handler stops the run, or the next
+    /// event would be strictly after `horizon`. Events *at* the horizon are
+    /// delivered. The clock ends at `min(horizon, last delivered)`.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Context<'_, E>, E),
+    {
+        let mut stopped = false;
+        while let Some(next) = self.queue.peek_time() {
+            if next > horizon {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            let mut ctx = Context {
+                now: time,
+                queue: &mut self.queue,
+                stopped: &mut stopped,
+            };
+            handler(&mut ctx, event);
+            if stopped {
+                break;
+            }
+        }
+    }
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_order_and_advances_clock() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(2), "b");
+        sim.schedule(SimTime::from_secs(1), "a");
+        let mut order = Vec::new();
+        sim.run(|ctx, e| order.push((ctx.now(), e)));
+        assert_eq!(
+            order,
+            vec![(SimTime::from_secs(1), "a"), (SimTime::from_secs(2), "b")]
+        );
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        sim.run(|ctx, generation| {
+            count += 1;
+            if generation < 9 {
+                ctx.schedule_in(SimDuration::from_millis(100), generation + 1);
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), SimTime::from_secs_f64(0.9));
+    }
+
+    #[test]
+    fn run_until_respects_horizon_inclusive() {
+        let mut sim = Simulator::new();
+        for secs in 1..=10u64 {
+            sim.schedule(SimTime::from_secs(secs), secs);
+        }
+        let mut seen = Vec::new();
+        sim.run_until(SimTime::from_secs(5), |_, e| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.pending(), 5);
+        // Resume to the end.
+        sim.run(|_, e| seen.push(e));
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        let mut sim = Simulator::new();
+        for secs in 1..=5u64 {
+            sim.schedule(SimTime::from_secs(secs), secs);
+        }
+        let mut seen = 0;
+        sim.run(|ctx, e| {
+            seen += 1;
+            if e == 3 {
+                ctx.stop();
+            }
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(sim.pending(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_secs(5), ());
+        sim.run(|ctx, ()| {
+            ctx.schedule_at(SimTime::from_secs(1), ());
+        });
+    }
+
+    use crate::time::SimDuration;
+}

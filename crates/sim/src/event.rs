@@ -1,0 +1,196 @@
+//! A stable priority queue of timestamped events.
+//!
+//! Determinism matters more than raw speed here: two events scheduled for
+//! the same instant are delivered in the order they were scheduled (FIFO),
+//! so a run is a pure function of its seed. The queue is a binary heap over
+//! `(time, sequence)` pairs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// ```
+/// use syndog_sim::{EventQueue, SimTime};
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(SimTime::from_secs(1), "a");
+/// queue.schedule(SimTime::from_secs(1), "b");
+/// assert_eq!(queue.pop().unwrap().1, "a"); // same time: scheduling order
+/// assert_eq!(queue.pop().unwrap().1, "b");
+/// assert!(queue.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` for delivery at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|entry| (entry.time, entry.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|entry| entry.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (time, event) in iter {
+            self.schedule(time, event);
+        }
+    }
+}
+
+impl<E> FromIterator<(SimTime, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, E)>>(iter: I) -> Self {
+        let mut queue = EventQueue::new();
+        queue.extend(iter);
+        queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_chronological_order() {
+        let mut queue = EventQueue::new();
+        for secs in [5u64, 1, 4, 2, 3] {
+            queue.schedule(SimTime::from_secs(secs), secs);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut queue = EventQueue::new();
+        let t = SimTime::from_secs(7);
+        for i in 0..100 {
+            queue.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut queue = EventQueue::new();
+        queue.schedule(SimTime::from_secs(10), "late");
+        queue.schedule(SimTime::from_secs(1), "early");
+        assert_eq!(queue.pop().unwrap().1, "early");
+        queue.schedule(SimTime::from_secs(5), "middle");
+        assert_eq!(queue.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(queue.pop().unwrap().1, "middle");
+        assert_eq!(queue.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn len_empty_clear() {
+        let mut queue: EventQueue<()> = EventQueue::new();
+        assert!(queue.is_empty());
+        queue.schedule(SimTime::ZERO, ());
+        queue.schedule(SimTime::ZERO + SimDuration::from_secs(1), ());
+        assert_eq!(queue.len(), 2);
+        queue.clear();
+        assert!(queue.is_empty());
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let queue: EventQueue<&str> =
+            vec![(SimTime::from_secs(2), "b"), (SimTime::from_secs(1), "a")]
+                .into_iter()
+                .collect();
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.peek_time(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let queue: EventQueue<u8> = EventQueue::new();
+        assert!(!format!("{queue:?}").is_empty());
+    }
+}

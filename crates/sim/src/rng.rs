@@ -1,0 +1,302 @@
+//! Seeded randomness and the distributions the traffic models draw from.
+//!
+//! Everything random in a simulation flows through a [`SimRng`] created
+//! from an explicit seed, so any experiment is reproducible bit-for-bit.
+//! The distributions are implemented directly (inverse transform for
+//! exponential and Pareto, Box–Muller for normal/log-normal) rather than
+//! pulling in `rand_distr`; each is validated statistically in the tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator for simulations.
+///
+/// Wraps [`StdRng`]; cloning is deliberately not provided so two components
+/// can't accidentally share a stream — use [`SimRng::fork`] to derive an
+/// independent child generator instead.
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator, e.g. one per stub network,
+    /// so adding a consumer does not perturb the draws seen by others.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng {
+            inner: StdRng::seed_from_u64(self.inner.gen()),
+        }
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform draw in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(low < high, "empty uniform range [{low}, {high})");
+        low + (high - low) * self.uniform()
+    }
+
+    /// A uniform integer draw in `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn uniform_u64(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty uniform range [{low}, {high})");
+        self.inner.gen_range(low..high)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponential draw with the given rate (mean `1/rate`), by inverse
+    /// transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        // 1 - U avoids ln(0).
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// A standard normal draw via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid u1 == 0 which would take ln(0).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative standard deviation {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A log-normal draw parameterized by the underlying normal's `mu` and
+    /// `sigma`. Used for per-connection RTTs, which are well modeled as
+    /// log-normal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "negative sigma {sigma}");
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// A Pareto draw with scale `xm > 0` and shape `alpha > 0`, by inverse
+    /// transform. Heavy-tailed on/off periods with `1 < alpha < 2` are what
+    /// make the superposed traffic self-similar.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `xm > 0` and `alpha > 0`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0, "pareto scale must be positive, got {xm}");
+        assert!(alpha > 0.0, "pareto shape must be positive, got {alpha}");
+        xm / (1.0 - self.uniform()).powf(1.0 / alpha)
+    }
+
+    /// A Poisson draw with the given mean, via Knuth's product method for
+    /// small means and normal approximation above 100 (where the error is
+    /// far below the traffic models' calibration tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 0.0, "negative poisson mean {mean}");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 100.0 {
+            let draw = self.normal(mean, mean.sqrt());
+            return draw.round().max(0.0) as u64;
+        }
+        let threshold = (-mean).exp();
+        let mut count = 0u64;
+        let mut product = self.uniform();
+        while product > threshold {
+            count += 1;
+            product *= self.uniform();
+        }
+        count
+    }
+
+    /// Fills `buf` with random bytes (used for spoofed address material).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// A full-range random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    fn var_of(samples: &[f64]) -> f64 {
+        let m = mean_of(samples);
+        samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(7);
+        let mut parent2 = SimRng::seed_from_u64(7);
+        let mut child1 = parent1.fork();
+        let mut child2 = parent2.fork();
+        for _ in 0..10 {
+            assert_eq!(child1.uniform().to_bits(), child2.uniform().to_bits());
+        }
+        // Parent draws after the fork still match each other.
+        assert_eq!(parent1.uniform().to_bits(), parent2.uniform().to_bits());
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.exponential(4.0)).collect();
+        let mean = mean_of(&samples);
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.normal(10.0, 3.0)).collect();
+        assert!((mean_of(&samples) - 10.0).abs() < 0.1);
+        assert!((var_of(&samples).sqrt() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_right_median() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| rng.log_normal(0.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}"); // e^mu = 1
+    }
+
+    #[test]
+    fn pareto_minimum_and_mean() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let (xm, alpha) = (2.0, 3.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.pareto(xm, alpha)).collect();
+        assert!(samples.iter().all(|&x| x >= xm));
+        // Mean of Pareto = alpha*xm/(alpha-1) = 3 for these parameters.
+        assert!((mean_of(&samples) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.poisson(3.5) as f64).collect();
+        assert!((mean_of(&samples) - 3.5).abs() < 0.06);
+        // Poisson variance equals its mean.
+        assert!((var_of(&samples) - 3.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approximation() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.poisson(2000.0) as f64).collect();
+        assert!((mean_of(&samples) - 2000.0).abs() < 2.0);
+        assert!((var_of(&samples) / 2000.0 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = SimRng::seed_from_u64(9);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn chance_frequencies() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities clamp instead of panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(-5.0, 5.0);
+            assert!((-5.0..5.0).contains(&x));
+            let n = rng.uniform_u64(10, 20);
+            assert!((10..20).contains(&n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        SimRng::seed_from_u64(0).exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_range_rejects_inverted_bounds() {
+        SimRng::seed_from_u64(0).uniform_range(1.0, 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulated router topology: attack paths from a flooding source to the
+//! victim.
+//!
+//! Traceback operates on the sequence of routers an attack packet
+//! traverses. For the comparison experiments a path is simply that
+//! sequence; multi-source attacks are sets of paths sharing a suffix near
+//! the victim (as real DDoS trees do).
+
+use serde::{Deserialize, Serialize};
+use syndog_sim::SimRng;
+
+/// An opaque router identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RouterId(pub u32);
+
+impl std::fmt::Display for RouterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// The ordered list of routers from the attacker's leaf router (index 0)
+/// to the router adjacent to the victim (last index).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackPath {
+    routers: Vec<RouterId>,
+}
+
+impl AttackPath {
+    /// Builds a path from explicit router ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path: packets traverse at least one router.
+    pub fn new(routers: Vec<RouterId>) -> Self {
+        assert!(!routers.is_empty(), "attack path needs at least one router");
+        AttackPath { routers }
+    }
+
+    /// Generates a random simple path of the given length; ids are drawn
+    /// from a large space so multi-path scenarios rarely collide except
+    /// where deliberately shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero.
+    pub fn random(length: usize, rng: &mut SimRng) -> Self {
+        assert!(length > 0, "attack path needs at least one router");
+        let routers = (0..length).map(|_| RouterId(rng.next_u32())).collect();
+        AttackPath { routers }
+    }
+
+    /// A multi-source attack tree: `sources` paths that share the last
+    /// `shared_suffix` routers before the victim (the common core) and
+    /// differ in their first `length − shared_suffix` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < shared_suffix <= length`.
+    pub fn tree(
+        sources: usize,
+        length: usize,
+        shared_suffix: usize,
+        rng: &mut SimRng,
+    ) -> Vec<AttackPath> {
+        assert!(
+            shared_suffix > 0 && shared_suffix <= length,
+            "invalid tree shape"
+        );
+        let core: Vec<RouterId> = (0..shared_suffix)
+            .map(|_| RouterId(rng.next_u32()))
+            .collect();
+        (0..sources)
+            .map(|_| {
+                let mut routers: Vec<RouterId> = (0..length - shared_suffix)
+                    .map(|_| RouterId(rng.next_u32()))
+                    .collect();
+                routers.extend_from_slice(&core);
+                AttackPath { routers }
+            })
+            .collect()
+    }
+
+    /// The routers in order, attacker side first.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+
+    /// Path length in router hops.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Always false; a path has at least one router.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The edges `(upstream, downstream)` in order, ending with the edge
+    /// into the victim (downstream = `None`).
+    pub fn edges(&self) -> Vec<(RouterId, Option<RouterId>)> {
+        let mut edges: Vec<(RouterId, Option<RouterId>)> = self
+            .routers
+            .windows(2)
+            .map(|w| (w[0], Some(w[1])))
+            .collect();
+        edges.push((*self.routers.last().expect("non-empty"), None));
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_path_roundtrip() {
+        let path = AttackPath::new(vec![RouterId(1), RouterId(2), RouterId(3)]);
+        assert_eq!(path.len(), 3);
+        assert_eq!(
+            path.edges(),
+            vec![
+                (RouterId(1), Some(RouterId(2))),
+                (RouterId(2), Some(RouterId(3))),
+                (RouterId(3), None),
+            ]
+        );
+        assert!(!path.is_empty());
+    }
+
+    #[test]
+    fn random_path_has_requested_length() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let path = AttackPath::random(15, &mut rng);
+        assert_eq!(path.len(), 15);
+        // Ids drawn from 2^32: collisions in 15 draws are ~0.
+        let mut ids: Vec<_> = path.routers().to_vec();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 15);
+    }
+
+    #[test]
+    fn tree_shares_exactly_the_suffix() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let paths = AttackPath::tree(5, 12, 4, &mut rng);
+        assert_eq!(paths.len(), 5);
+        let core = &paths[0].routers()[8..];
+        for path in &paths {
+            assert_eq!(path.len(), 12);
+            assert_eq!(&path.routers()[8..], core, "shared core differs");
+        }
+        // Prefixes differ between sources.
+        assert_ne!(paths[0].routers()[..8], paths[1].routers()[..8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn empty_path_rejected() {
+        let _ = AttackPath::new(Vec::new());
+    }
+
+    #[test]
+    fn display_of_router_id() {
+        assert_eq!(RouterId(7).to_string(), "R7");
+    }
+}

@@ -1,0 +1,320 @@
+//! The TCP three-way-handshake state machine as seen from the leaf router.
+//!
+//! SYN-dog's signal is the pairing of outgoing SYNs with incoming SYN/ACKs
+//! "within one RTT" (§3.1); its noise is everything that breaks the
+//! pairing: servers dropping SYNs under load, forwarding-path congestion
+//! losing SYNs or SYN/ACKs, and the client's retransmissions (which emit
+//! *extra* SYNs). [`simulate_handshake`] reproduces those mechanics per
+//! connection attempt, emitting each control segment through a caller sink
+//! so the same logic drives both full trace generation and fast
+//! count-level simulation.
+
+use syndog_net::SegmentKind;
+use syndog_sim::{SimDuration, SimRng, SimTime};
+
+use crate::trace::Direction;
+
+/// Parameters of the handshake and its failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionParams {
+    /// Probability, per SYN transmission, that no SYN/ACK is ever generated
+    /// — the server dropped the SYN, or the forward path lost it (the two
+    /// discrepancy causes §1 lists).
+    pub p_syn_drop: f64,
+    /// Probability, per generated SYN/ACK, that it is lost before reaching
+    /// the inbound sniffer.
+    pub p_synack_loss: f64,
+    /// Total SYN transmissions before the client gives up; the classical
+    /// BSD behaviour the paper cites ("the failure of two retransmissions")
+    /// is 3.
+    pub max_syn_transmissions: u32,
+    /// Delay before the k-th retransmission, seconds after the previous
+    /// transmission (exponential backoff: 3 s, 6 s, …).
+    pub syn_backoff_secs: Vec<f64>,
+    /// Log-normal RTT parameters (of the underlying normal, in seconds).
+    pub rtt_mu: f64,
+    /// Log-normal RTT sigma.
+    pub rtt_sigma: f64,
+    /// When set, established connections also emit the client ACK and a
+    /// FIN/ACK teardown pair, so generated traces carry realistic non-SYN
+    /// traffic for the classifier to sift.
+    pub emit_data_segments: bool,
+}
+
+impl ConnectionParams {
+    /// A well-behaved Internet path: ~1.2% SYN drop, ~0.5% SYN/ACK loss,
+    /// median RTT ≈ 120 ms.
+    pub fn clean() -> Self {
+        ConnectionParams {
+            p_syn_drop: 0.012,
+            p_synack_loss: 0.005,
+            max_syn_transmissions: 3,
+            syn_backoff_secs: vec![3.0, 6.0],
+            rtt_mu: (0.12f64).ln(),
+            rtt_sigma: 0.35,
+            emit_data_segments: true,
+        }
+    }
+
+    /// Returns a copy with the two loss probabilities replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1)`.
+    pub fn with_losses(mut self, p_syn_drop: f64, p_synack_loss: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p_syn_drop),
+            "p_syn_drop out of range: {p_syn_drop}"
+        );
+        assert!(
+            (0.0..1.0).contains(&p_synack_loss),
+            "p_synack_loss out of range: {p_synack_loss}"
+        );
+        self.p_syn_drop = p_syn_drop;
+        self.p_synack_loss = p_synack_loss;
+        self
+    }
+
+    /// Per-transmission probability that a SYN is answered by a SYN/ACK
+    /// *seen at the inbound sniffer*.
+    pub fn p_answered(&self) -> f64 {
+        (1.0 - self.p_syn_drop) * (1.0 - self.p_synack_loss)
+    }
+
+    /// Expected SYNs emitted per connection attempt.
+    pub fn expected_syns(&self) -> f64 {
+        let q = self.p_answered();
+        let mut total = 0.0;
+        let mut p_reach = 1.0; // probability the k-th transmission happens
+        for _ in 0..self.max_syn_transmissions {
+            total += p_reach;
+            p_reach *= 1.0 - q;
+        }
+        total
+    }
+
+    /// Expected SYN/ACKs observed per connection attempt.
+    pub fn expected_synacks(&self) -> f64 {
+        self.p_answered() * self.expected_syns()
+    }
+
+    /// The residual normal-operation mean `c = E[Δ]/E[SYN/ACK]` this
+    /// parameter set induces — the quantity the paper's `a = 0.35` must
+    /// stay above.
+    pub fn residual_mean(&self) -> f64 {
+        let syns = self.expected_syns();
+        let synacks = self.expected_synacks();
+        (syns - synacks) / synacks
+    }
+}
+
+impl Default for ConnectionParams {
+    fn default() -> Self {
+        Self::clean()
+    }
+}
+
+/// What became of one connection attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeOutcome {
+    /// Whether the three-way handshake completed.
+    pub established: bool,
+    /// SYN transmissions emitted (1..=max).
+    pub syn_sent: u32,
+    /// SYN/ACKs observed at the inbound sniffer.
+    pub synack_seen: u32,
+}
+
+/// Simulates one client connection attempt starting at `start`, emitting
+/// every control segment the leaf router would see through `sink` as
+/// `(time, direction, kind)`.
+///
+/// The client is inside the stub network (SYNs travel outbound) and the
+/// server outside (SYN/ACKs travel inbound), matching the paper's Figure 6
+/// topology.
+pub fn simulate_handshake(
+    start: SimTime,
+    params: &ConnectionParams,
+    rng: &mut SimRng,
+    mut sink: impl FnMut(SimTime, Direction, SegmentKind),
+) -> HandshakeOutcome {
+    let mut outcome = HandshakeOutcome {
+        established: false,
+        syn_sent: 0,
+        synack_seen: 0,
+    };
+    let mut at = start;
+    for attempt in 0..params.max_syn_transmissions.max(1) {
+        sink(at, Direction::Outbound, SegmentKind::Syn);
+        outcome.syn_sent += 1;
+        let rtt = SimDuration::from_secs_f64(rng.log_normal(params.rtt_mu, params.rtt_sigma));
+        let answered = !rng.chance(params.p_syn_drop);
+        if answered && !rng.chance(params.p_synack_loss) {
+            let synack_at = at + rtt;
+            sink(synack_at, Direction::Inbound, SegmentKind::SynAck);
+            outcome.synack_seen += 1;
+            outcome.established = true;
+            if params.emit_data_segments {
+                let ack_at = synack_at + SimDuration::from_millis(1);
+                sink(ack_at, Direction::Outbound, SegmentKind::Ack);
+                // A short exchange followed by an orderly teardown.
+                let lifetime = SimDuration::from_secs_f64(rng.exponential(1.0 / 8.0));
+                let fin_at = ack_at + lifetime;
+                sink(fin_at, Direction::Outbound, SegmentKind::Fin);
+                sink(fin_at + rtt, Direction::Inbound, SegmentKind::Fin);
+                sink(
+                    fin_at + rtt + SimDuration::from_millis(1),
+                    Direction::Outbound,
+                    SegmentKind::Ack,
+                );
+            }
+            break;
+        }
+        // No SYN/ACK within the timeout: back off and retransmit.
+        let backoff = params
+            .syn_backoff_secs
+            .get(attempt as usize)
+            .copied()
+            .unwrap_or_else(|| params.syn_backoff_secs.last().copied().unwrap_or(3.0));
+        at += SimDuration::from_secs_f64(backoff);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(
+        params: &ConnectionParams,
+        seed: u64,
+    ) -> (HandshakeOutcome, Vec<(SimTime, Direction, SegmentKind)>) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let outcome = simulate_handshake(SimTime::from_secs(10), params, &mut rng, |t, d, k| {
+            events.push((t, d, k))
+        });
+        (outcome, events)
+    }
+
+    #[test]
+    fn lossless_handshake_emits_full_lifecycle() {
+        let params = ConnectionParams::clean().with_losses(0.0, 0.0);
+        let (outcome, events) = collect(&params, 1);
+        assert!(outcome.established);
+        assert_eq!(outcome.syn_sent, 1);
+        assert_eq!(outcome.synack_seen, 1);
+        let kinds: Vec<SegmentKind> = events.iter().map(|e| e.2).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SegmentKind::Syn,
+                SegmentKind::SynAck,
+                SegmentKind::Ack,
+                SegmentKind::Fin,
+                SegmentKind::Fin,
+                SegmentKind::Ack,
+            ]
+        );
+        // SYN outbound, SYN/ACK inbound, one RTT apart.
+        assert_eq!(events[0].1, Direction::Outbound);
+        assert_eq!(events[1].1, Direction::Inbound);
+        assert!(events[1].0 > events[0].0);
+        // Events are what the router sees; they must be time-ordered.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn total_loss_exhausts_retransmissions() {
+        let params = ConnectionParams::clean().with_losses(0.999_999, 0.0);
+        let (outcome, events) = collect(&params, 2);
+        assert!(!outcome.established);
+        assert_eq!(outcome.syn_sent, 3);
+        assert_eq!(outcome.synack_seen, 0);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.2 == SegmentKind::Syn));
+        // Backoff schedule: 3 s then 6 s.
+        let t0 = events[0].0.as_secs_f64();
+        assert!((events[1].0.as_secs_f64() - t0 - 3.0).abs() < 1e-6);
+        assert!((events[2].0.as_secs_f64() - t0 - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn synack_loss_produces_syn_excess_without_synacks() {
+        // SYN always reaches the server, but the SYN/ACK never arrives:
+        // the sniffers see SYNs with zero SYN/ACKs — exactly a flood's
+        // signature, which is why path pathologies set the noise floor.
+        let params = ConnectionParams::clean().with_losses(0.0, 0.999_999);
+        let (outcome, events) = collect(&params, 3);
+        assert!(!outcome.established);
+        assert_eq!(outcome.syn_sent, 3);
+        assert!(events.iter().all(|e| e.2 == SegmentKind::Syn));
+    }
+
+    #[test]
+    fn expected_counts_match_simulation() {
+        let params = ConnectionParams::clean().with_losses(0.05, 0.02);
+        let mut rng = SimRng::seed_from_u64(4);
+        let trials = 40_000;
+        let mut syn_total = 0u64;
+        let mut synack_total = 0u64;
+        for _ in 0..trials {
+            let outcome = simulate_handshake(SimTime::ZERO, &params, &mut rng, |_, _, _| {});
+            syn_total += u64::from(outcome.syn_sent);
+            synack_total += u64::from(outcome.synack_seen);
+        }
+        let syn_mean = syn_total as f64 / trials as f64;
+        let synack_mean = synack_total as f64 / trials as f64;
+        assert!(
+            (syn_mean - params.expected_syns()).abs() < 0.01,
+            "syn {syn_mean}"
+        );
+        assert!(
+            (synack_mean - params.expected_synacks()).abs() < 0.01,
+            "synack {synack_mean}"
+        );
+    }
+
+    #[test]
+    fn residual_mean_is_positive_and_small() {
+        let c = ConnectionParams::clean().residual_mean();
+        assert!(c > 0.0 && c < 0.1, "residual c = {c}");
+        // Heavier losses raise the residual.
+        let heavy = ConnectionParams::clean()
+            .with_losses(0.06, 0.03)
+            .residual_mean();
+        assert!(heavy > c);
+    }
+
+    #[test]
+    fn at_most_one_synack_per_attempt() {
+        let params = ConnectionParams::clean();
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let outcome = simulate_handshake(SimTime::ZERO, &params, &mut rng, |_, _, _| {});
+            assert!(outcome.synack_seen <= 1);
+            assert!(outcome.syn_sent >= 1 && outcome.syn_sent <= 3);
+            assert_eq!(outcome.established, outcome.synack_seen == 1);
+        }
+    }
+
+    #[test]
+    fn disabling_data_segments_emits_handshake_only() {
+        let mut params = ConnectionParams::clean().with_losses(0.0, 0.0);
+        params.emit_data_segments = false;
+        let (_, events) = collect(&params, 6);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn backoff_schedule_reuses_last_entry_when_short() {
+        let mut params = ConnectionParams::clean().with_losses(0.999_999, 0.0);
+        params.max_syn_transmissions = 4;
+        params.syn_backoff_secs = vec![2.0];
+        let (_, events) = collect(&params, 7);
+        assert_eq!(events.len(), 4);
+        let t: Vec<f64> = events.iter().map(|e| e.0.as_secs_f64()).collect();
+        assert!((t[1] - t[0] - 2.0).abs() < 1e-6);
+        assert!((t[3] - t[2] - 2.0).abs() < 1e-6);
+    }
+}

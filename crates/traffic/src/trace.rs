@@ -1,0 +1,766 @@
+//! Timestamped segment traces: the interchange format between traffic
+//! generation, flood injection, the leaf router and the detector.
+//!
+//! A [`Trace`] is a time-sorted vector of [`TraceRecord`]s — one per TCP
+//! control segment crossing the leaf router, in either direction. Traces
+//! can be merged (normal background + flood), aggregated into per-period
+//! [`PeriodSample`]s, serialized to a compact binary format or CSV, and
+//! bridged to real pcap files by synthesizing full packets.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use serde::{Deserialize, Serialize};
+use syndog_net::packet::PacketBuilder;
+use syndog_net::pcap::{PcapPacket, PcapReader, PcapWriter};
+use syndog_net::{classify, Ipv4Net, MacAddr, NetError, SegmentKind, TcpFlags};
+use syndog_sim::{SimDuration, SimTime};
+
+/// Which way a segment crossed the leaf router.
+///
+/// Per the paper's convention: *inbound* flows from the Internet into the
+/// stub network (intranet), *outbound* flows out toward the Internet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Internet → stub network.
+    Inbound,
+    /// Stub network → Internet.
+    Outbound,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Inbound => Direction::Outbound,
+            Direction::Outbound => Direction::Inbound,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Inbound => write!(f, "inbound"),
+            Direction::Outbound => write!(f, "outbound"),
+        }
+    }
+}
+
+/// One TCP control segment observed at the leaf router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the segment crossed the router.
+    pub time: SimTime,
+    /// Direction of travel.
+    pub direction: Direction,
+    /// Segment classification (SYN, SYN/ACK, ACK, FIN, RST, …).
+    pub kind: SegmentKind,
+    /// Source endpoint.
+    pub src: SocketAddrV4,
+    /// Destination endpoint.
+    pub dst: SocketAddrV4,
+    /// Source MAC address as seen on the stub-network side; meaningful for
+    /// outbound segments (used by §4.2.3 source localization).
+    pub src_mac: MacAddr,
+}
+
+impl TraceRecord {
+    /// Convenience constructor for tests and generators.
+    pub fn new(
+        time: SimTime,
+        direction: Direction,
+        kind: SegmentKind,
+        src: SocketAddrV4,
+        dst: SocketAddrV4,
+    ) -> Self {
+        TraceRecord {
+            time,
+            direction,
+            kind,
+            src,
+            dst,
+            src_mac: MacAddr::ZERO,
+        }
+    }
+
+    /// Returns a copy with the source MAC set.
+    pub fn with_mac(mut self, mac: MacAddr) -> Self {
+        self.src_mac = mac;
+        self
+    }
+}
+
+/// Per-observation-period handshake counts — the sniffers' report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PeriodSample {
+    /// Outgoing SYNs counted by the outbound sniffer.
+    pub syn: u64,
+    /// Incoming SYN/ACKs counted by the inbound sniffer.
+    pub synack: u64,
+}
+
+impl PeriodSample {
+    /// Adds another sample's counts into this one.
+    pub fn merge(&mut self, other: PeriodSample) {
+        self.syn += other.syn;
+        self.synack += other.synack;
+    }
+}
+
+/// A time-sorted sequence of segment records with a fixed duration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    duration: SimDuration,
+}
+
+/// Error from trace (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The binary stream does not start with the trace magic.
+    BadMagic(u32),
+    /// The stream ended mid-record.
+    Truncated,
+    /// A record field held an unrepresentable value.
+    InvalidRecord(&'static str),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A pcap-level failure while importing or exporting.
+    Net(NetError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic(magic) => write!(f, "bad trace magic {magic:#010x}"),
+            TraceError::Truncated => write!(f, "truncated trace stream"),
+            TraceError::InvalidRecord(what) => write!(f, "invalid trace record field: {what}"),
+            TraceError::Io(err) => write!(f, "i/o error: {err}"),
+            TraceError::Net(err) => write!(f, "packet error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(err) => Some(err),
+            TraceError::Net(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(err: std::io::Error) -> Self {
+        TraceError::Io(err)
+    }
+}
+
+impl From<NetError> for TraceError {
+    fn from(err: NetError) -> Self {
+        TraceError::Net(err)
+    }
+}
+
+/// Magic number of the binary trace format (`"SDTR"` big-endian).
+const TRACE_MAGIC: u32 = 0x5344_5452;
+
+fn kind_to_byte(kind: SegmentKind) -> u8 {
+    match kind {
+        SegmentKind::Syn => 0,
+        SegmentKind::SynAck => 1,
+        SegmentKind::Rst => 2,
+        SegmentKind::Fin => 3,
+        SegmentKind::Ack => 4,
+        SegmentKind::OtherTcp => 5,
+        SegmentKind::NonTcp => 6,
+    }
+}
+
+fn byte_to_kind(byte: u8) -> Result<SegmentKind, TraceError> {
+    Ok(match byte {
+        0 => SegmentKind::Syn,
+        1 => SegmentKind::SynAck,
+        2 => SegmentKind::Rst,
+        3 => SegmentKind::Fin,
+        4 => SegmentKind::Ack,
+        5 => SegmentKind::OtherTcp,
+        6 => SegmentKind::NonTcp,
+        _ => return Err(TraceError::InvalidRecord("segment kind")),
+    })
+}
+
+impl Trace {
+    /// Creates an empty trace covering `duration`.
+    pub fn new(duration: SimDuration) -> Self {
+        Trace {
+            records: Vec::new(),
+            duration,
+        }
+    }
+
+    /// Creates a trace from records, sorting them by time.
+    pub fn from_records(mut records: Vec<TraceRecord>, duration: SimDuration) -> Self {
+        records.sort_by_key(|r| r.time);
+        Trace { records, duration }
+    }
+
+    /// Appends a record. Callers appending out of order must call
+    /// [`Trace::sort`] before consuming the trace.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Restores time order after unordered pushes.
+    pub fn sort(&mut self) {
+        self.records.sort_by_key(|r| r.time);
+    }
+
+    /// The records, in time order if the trace has been kept sorted.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// The nominal duration of the trace.
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Overrides the nominal duration.
+    ///
+    /// The pcap format carries no duration metadata, so
+    /// [`Trace::read_pcap`] infers it from the last packet; callers that
+    /// know the capture's true span should set it explicitly to get
+    /// identical period binning across formats.
+    pub fn set_duration(&mut self, duration: SimDuration) {
+        self.duration = duration;
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` for a record-less trace.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Merges another trace's records into this one (e.g. flood into
+    /// background), keeping time order and extending the duration if the
+    /// other trace is longer.
+    pub fn merge(&mut self, other: &Trace) {
+        self.records.extend_from_slice(&other.records);
+        self.sort();
+        self.duration = self.duration.max(other.duration);
+    }
+
+    /// Aggregates the trace into per-period sniffer counts: outbound SYNs
+    /// and inbound SYN/ACKs, exactly what the two sniffers report (§3.1).
+    ///
+    /// The result covers `ceil(duration / period)` periods, including empty
+    /// ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn period_counts(&self, period: SimDuration) -> Vec<PeriodSample> {
+        assert!(!period.is_zero(), "observation period must be non-zero");
+        let periods =
+            (self.duration.as_micros() + period.as_micros() - 1) / period.as_micros().max(1);
+        let mut counts = vec![PeriodSample::default(); periods.max(1) as usize];
+        for record in &self.records {
+            let idx = record.time.period_index(period) as usize;
+            if idx >= counts.len() {
+                continue; // records past the nominal duration are ignored
+            }
+            match (record.direction, record.kind) {
+                (Direction::Outbound, SegmentKind::Syn) => counts[idx].syn += 1,
+                (Direction::Inbound, SegmentKind::SynAck) => counts[idx].synack += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Like [`Trace::period_counts`] but counting SYNs and SYN/ACKs from
+    /// *both* directions, as the paper does for the bidirectional LBL and
+    /// Harvard traces (Figure 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn period_counts_bidirectional(&self, period: SimDuration) -> Vec<PeriodSample> {
+        assert!(!period.is_zero(), "observation period must be non-zero");
+        let periods =
+            (self.duration.as_micros() + period.as_micros() - 1) / period.as_micros().max(1);
+        let mut counts = vec![PeriodSample::default(); periods.max(1) as usize];
+        for record in &self.records {
+            let idx = record.time.period_index(period) as usize;
+            if idx >= counts.len() {
+                continue;
+            }
+            match record.kind {
+                SegmentKind::Syn => counts[idx].syn += 1,
+                SegmentKind::SynAck => counts[idx].synack += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Aggregates outbound SYN / FIN / RST counts per period, the input of
+    /// the SYN–FIN pair detector (the companion mechanism; see
+    /// `syndog::fin_pair`). Returns `(syn, fin, rst)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn period_syn_fin_counts(&self, period: SimDuration) -> Vec<(u64, u64, u64)> {
+        assert!(!period.is_zero(), "observation period must be non-zero");
+        let periods =
+            (self.duration.as_micros() + period.as_micros() - 1) / period.as_micros().max(1);
+        let mut counts = vec![(0u64, 0u64, 0u64); periods.max(1) as usize];
+        for record in &self.records {
+            if record.direction != Direction::Outbound {
+                continue;
+            }
+            let idx = record.time.period_index(period) as usize;
+            if idx >= counts.len() {
+                continue;
+            }
+            match record.kind {
+                SegmentKind::Syn => counts[idx].0 += 1,
+                SegmentKind::Fin => counts[idx].1 += 1,
+                SegmentKind::Rst => counts[idx].2 += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Serializes to the compact binary trace format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_binary<W: Write>(&self, mut writer: W) -> Result<(), TraceError> {
+        writer.write_all(&TRACE_MAGIC.to_be_bytes())?;
+        writer.write_all(&1u16.to_be_bytes())?; // format version
+        writer.write_all(&self.duration.as_micros().to_be_bytes())?;
+        writer.write_all(&(self.records.len() as u64).to_be_bytes())?;
+        for r in &self.records {
+            writer.write_all(&r.time.as_micros().to_be_bytes())?;
+            writer.write_all(&[
+                match r.direction {
+                    Direction::Inbound => 0,
+                    Direction::Outbound => 1,
+                },
+                kind_to_byte(r.kind),
+            ])?;
+            writer.write_all(&r.src.ip().octets())?;
+            writer.write_all(&r.src.port().to_be_bytes())?;
+            writer.write_all(&r.dst.ip().octets())?;
+            writer.write_all(&r.dst.port().to_be_bytes())?;
+            writer.write_all(&r.src_mac.octets())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes from the binary trace format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadMagic`] / [`TraceError::Truncated`] /
+    /// [`TraceError::InvalidRecord`] for malformed input, and propagates
+    /// I/O errors.
+    pub fn read_binary<R: Read>(mut reader: R) -> Result<Self, TraceError> {
+        let mut head = [0u8; 4 + 2 + 8 + 8];
+        reader
+            .read_exact(&mut head)
+            .map_err(|_| TraceError::Truncated)?;
+        let magic = u32::from_be_bytes([head[0], head[1], head[2], head[3]]);
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let duration = SimDuration::from_micros(u64::from_be_bytes(
+            head[6..14].try_into().expect("fixed slice"),
+        ));
+        let count = u64::from_be_bytes(head[14..22].try_into().expect("fixed slice"));
+        if count > (1 << 32) {
+            return Err(TraceError::InvalidRecord("record count"));
+        }
+        let mut records = Vec::with_capacity(count as usize);
+        let mut rec = [0u8; 8 + 2 + 6 + 6 + 6];
+        for _ in 0..count {
+            reader
+                .read_exact(&mut rec)
+                .map_err(|_| TraceError::Truncated)?;
+            let time = SimTime::from_micros(u64::from_be_bytes(
+                rec[0..8].try_into().expect("fixed slice"),
+            ));
+            let direction = match rec[8] {
+                0 => Direction::Inbound,
+                1 => Direction::Outbound,
+                _ => return Err(TraceError::InvalidRecord("direction")),
+            };
+            let kind = byte_to_kind(rec[9])?;
+            let src = SocketAddrV4::new(
+                Ipv4Addr::new(rec[10], rec[11], rec[12], rec[13]),
+                u16::from_be_bytes([rec[14], rec[15]]),
+            );
+            let dst = SocketAddrV4::new(
+                Ipv4Addr::new(rec[16], rec[17], rec[18], rec[19]),
+                u16::from_be_bytes([rec[20], rec[21]]),
+            );
+            let mut mac = [0u8; 6];
+            mac.copy_from_slice(&rec[22..28]);
+            records.push(TraceRecord {
+                time,
+                direction,
+                kind,
+                src,
+                dst,
+                src_mac: MacAddr::new(mac),
+            });
+        }
+        Ok(Trace { records, duration })
+    }
+
+    /// Exports the trace as a pcap capture by synthesizing one real
+    /// Ethernet/IPv4/TCP packet per record (flags chosen to match the
+    /// record's classification).
+    ///
+    /// # Errors
+    ///
+    /// Propagates packet-encoding and I/O errors.
+    pub fn write_pcap<W: Write>(&self, writer: W) -> Result<(), TraceError> {
+        let mut pcap = PcapWriter::new(writer)?;
+        for r in &self.records {
+            let flags = match r.kind {
+                SegmentKind::Syn => TcpFlags::SYN,
+                SegmentKind::SynAck => TcpFlags::SYN | TcpFlags::ACK,
+                SegmentKind::Rst => TcpFlags::RST,
+                SegmentKind::Fin => TcpFlags::FIN | TcpFlags::ACK,
+                SegmentKind::Ack => TcpFlags::ACK,
+                SegmentKind::OtherTcp => TcpFlags::PSH | TcpFlags::ACK,
+                SegmentKind::NonTcp => TcpFlags::EMPTY,
+            };
+            let bytes = if r.kind == SegmentKind::NonTcp {
+                PacketBuilder::non_tcp(*r.src.ip(), *r.dst.ip(), syndog_net::ipv4::PROTO_UDP)
+                    .src_mac(r.src_mac)
+                    .build()?
+            } else {
+                PacketBuilder::tcp(r.src, r.dst, flags)
+                    .src_mac(r.src_mac)
+                    .build()?
+            };
+            let micros = r.time.as_micros();
+            pcap.write_packet(&PcapPacket {
+                ts_sec: (micros / 1_000_000) as u32,
+                ts_nanos: ((micros % 1_000_000) * 1000) as u32,
+                data: bytes,
+            })?;
+        }
+        pcap.flush()?;
+        Ok(())
+    }
+
+    /// Imports a pcap capture, classifying each packet and inferring
+    /// direction from the *destination* address: a packet addressed into
+    /// `stub` is inbound, anything else outbound.
+    ///
+    /// Destination-based inference matters: spoofed flood SYNs carry
+    /// forged (often bogon) *source* addresses, so source-based inference
+    /// would misfile exactly the packets SYN-dog exists to count. The
+    /// destination is the one field the routing fabric itself acts on.
+    ///
+    /// Packets that fail to classify are skipped — a capture may contain
+    /// truncated frames — but I/O and pcap-structure errors are reported.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pcap-format and I/O errors.
+    pub fn read_pcap<R: Read>(reader: R, stub: Ipv4Net) -> Result<Self, TraceError> {
+        let mut pcap = PcapReader::new(reader)?;
+        let mut records = Vec::new();
+        let mut max_time = SimDuration::ZERO;
+        while let Some(packet) = pcap.next_packet()? {
+            let Ok(kind) = classify(&packet.data) else {
+                continue;
+            };
+            let Ok(decoded) = syndog_net::Packet::decode(&packet.data) else {
+                continue;
+            };
+            let (src, dst) = match (decoded.src_socket(), decoded.dst_socket()) {
+                (Some(s), Some(d)) => (s, d),
+                _ => (
+                    SocketAddrV4::new(decoded.ipv4.src, 0),
+                    SocketAddrV4::new(decoded.ipv4.dst, 0),
+                ),
+            };
+            let direction = if stub.contains(*dst.ip()) {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            };
+            let time = SimTime::from_micros(
+                u64::from(packet.ts_sec) * 1_000_000 + u64::from(packet.ts_nanos) / 1000,
+            );
+            max_time = max_time.max(time.saturating_since(SimTime::ZERO));
+            records.push(TraceRecord {
+                time,
+                direction,
+                kind,
+                src,
+                dst,
+                src_mac: decoded.ethernet.src,
+            });
+        }
+        Ok(Trace::from_records(
+            records,
+            max_time + SimDuration::from_micros(1),
+        ))
+    }
+
+    /// Renders the per-period counts as CSV (`period,syn,synack`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn to_period_csv(&self, period: SimDuration) -> String {
+        let mut out = String::from("period,syn,synack\n");
+        for (i, sample) in self.period_counts(period).iter().enumerate() {
+            out.push_str(&format!("{i},{},{}\n", sample.syn, sample.synack));
+        }
+        out
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(secs: f64, direction: Direction, kind: SegmentKind) -> TraceRecord {
+        TraceRecord::new(
+            SimTime::from_secs_f64(secs),
+            direction,
+            kind,
+            "10.1.0.5:1025".parse().unwrap(),
+            "192.0.2.80:80".parse().unwrap(),
+        )
+    }
+
+    fn sample_trace() -> Trace {
+        Trace::from_records(
+            vec![
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+                rec(1.1, Direction::Inbound, SegmentKind::SynAck),
+                rec(25.0, Direction::Outbound, SegmentKind::Syn),
+                rec(25.2, Direction::Outbound, SegmentKind::Syn),
+                rec(26.0, Direction::Inbound, SegmentKind::SynAck),
+                rec(45.0, Direction::Outbound, SegmentKind::Ack),
+                rec(59.9, Direction::Inbound, SegmentKind::Syn), // inbound SYN: not counted
+            ],
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn period_counts_directional_rules() {
+        let counts = sample_trace().period_counts(SimDuration::from_secs(20));
+        assert_eq!(counts.len(), 3);
+        assert_eq!(counts[0], PeriodSample { syn: 1, synack: 1 });
+        assert_eq!(counts[1], PeriodSample { syn: 2, synack: 1 });
+        assert_eq!(counts[2], PeriodSample { syn: 0, synack: 0 });
+    }
+
+    #[test]
+    fn bidirectional_counts_include_both_sides() {
+        let counts = sample_trace().period_counts_bidirectional(SimDuration::from_secs(20));
+        assert_eq!(counts[2], PeriodSample { syn: 1, synack: 0 });
+    }
+
+    #[test]
+    fn records_sorted_on_construction_and_merge() {
+        let mut t = Trace::from_records(
+            vec![
+                rec(5.0, Direction::Outbound, SegmentKind::Syn),
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+            ],
+            SimDuration::from_secs(10),
+        );
+        assert!(t.records()[0].time < t.records()[1].time);
+        let other = Trace::from_records(
+            vec![rec(3.0, Direction::Outbound, SegmentKind::Syn)],
+            SimDuration::from_secs(30),
+        );
+        t.merge(&other);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[1].time, SimTime::from_secs(3));
+        assert_eq!(t.duration(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn records_past_duration_ignored_in_counts() {
+        let t = Trace::from_records(
+            vec![rec(100.0, Direction::Outbound, SegmentKind::Syn)],
+            SimDuration::from_secs(40),
+        );
+        let counts = t.period_counts(SimDuration::from_secs(20));
+        assert_eq!(counts.len(), 2);
+        assert!(counts.iter().all(|c| c.syn == 0));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        let restored = Trace::read_binary(buf.as_slice()).unwrap();
+        assert_eq!(restored, t);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Trace::read_binary(bad.as_slice()),
+            Err(TraceError::BadMagic(_))
+        ));
+        // Truncated mid-record.
+        let cut = &buf[..buf.len() - 3];
+        assert!(matches!(
+            Trace::read_binary(cut),
+            Err(TraceError::Truncated)
+        ));
+        // Bad direction byte in the first record.
+        let mut bad_dir = buf.clone();
+        bad_dir[22 + 8] = 9;
+        assert!(matches!(
+            Trace::read_binary(bad_dir.as_slice()),
+            Err(TraceError::InvalidRecord("direction"))
+        ));
+    }
+
+    #[test]
+    fn pcap_roundtrip_preserves_counts_and_direction() {
+        let stub: Ipv4Net = "10.1.0.0/16".parse().unwrap();
+        let t = sample_trace();
+        let mut file = Vec::new();
+        t.write_pcap(&mut file).unwrap();
+        let restored = Trace::read_pcap(file.as_slice(), stub).unwrap();
+        assert_eq!(restored.len(), t.len());
+        // Direction is inferred from the stub prefix. The sample's outbound
+        // records all have a 10.1/16 source; the inbound SYN at 59.9 s has
+        // an external source... but sample_trace uses the same src for all.
+        // Check the handshake signal counts agree per period instead.
+        let a = t.period_counts_bidirectional(SimDuration::from_secs(20));
+        let b = restored.period_counts_bidirectional(SimDuration::from_secs(20));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pcap_direction_inference() {
+        let stub: Ipv4Net = "10.1.0.0/16".parse().unwrap();
+        let mut t = Trace::new(SimDuration::from_secs(10));
+        // Outbound SYN from inside the stub.
+        t.push(rec(1.0, Direction::Outbound, SegmentKind::Syn));
+        // Inbound SYN/ACK from outside.
+        t.push(TraceRecord::new(
+            SimTime::from_secs(2),
+            Direction::Inbound,
+            SegmentKind::SynAck,
+            "192.0.2.80:80".parse().unwrap(),
+            "10.1.0.5:1025".parse().unwrap(),
+        ));
+        let mut file = Vec::new();
+        t.write_pcap(&mut file).unwrap();
+        let restored = Trace::read_pcap(file.as_slice(), stub).unwrap();
+        assert_eq!(restored.records()[0].direction, Direction::Outbound);
+        assert_eq!(restored.records()[1].direction, Direction::Inbound);
+        let counts = restored.period_counts(SimDuration::from_secs(10));
+        assert_eq!(counts[0], PeriodSample { syn: 1, synack: 1 });
+    }
+
+    #[test]
+    fn mac_survives_binary_and_pcap() {
+        let mac = MacAddr::for_host(2, 9);
+        let t = Trace::from_records(
+            vec![rec(0.5, Direction::Outbound, SegmentKind::Syn).with_mac(mac)],
+            SimDuration::from_secs(1),
+        );
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        assert_eq!(
+            Trace::read_binary(buf.as_slice()).unwrap().records()[0].src_mac,
+            mac
+        );
+        let mut file = Vec::new();
+        t.write_pcap(&mut file).unwrap();
+        let restored = Trace::read_pcap(file.as_slice(), "10.1.0.0/16".parse().unwrap()).unwrap();
+        assert_eq!(restored.records()[0].src_mac, mac);
+    }
+
+    #[test]
+    fn csv_output_shape() {
+        let csv = sample_trace().to_period_csv(SimDuration::from_secs(20));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "period,syn,synack");
+        assert_eq!(lines[1], "0,1,1");
+        assert_eq!(lines[2], "1,2,1");
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new(SimDuration::from_secs(40));
+        assert!(t.is_empty());
+        let counts = t.period_counts(SimDuration::from_secs(20));
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Inbound.reverse(), Direction::Outbound);
+        assert_eq!(Direction::Outbound.reverse(), Direction::Inbound);
+        assert_eq!(Direction::Inbound.to_string(), "inbound");
+    }
+
+    #[test]
+    fn syn_fin_counts_outbound_only() {
+        let t = Trace::from_records(
+            vec![
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+                rec(2.0, Direction::Outbound, SegmentKind::Fin),
+                rec(3.0, Direction::Outbound, SegmentKind::Rst),
+                rec(4.0, Direction::Inbound, SegmentKind::Fin), // not counted
+                rec(25.0, Direction::Outbound, SegmentKind::Fin),
+            ],
+            SimDuration::from_secs(40),
+        );
+        let counts = t.period_syn_fin_counts(SimDuration::from_secs(20));
+        assert_eq!(counts, vec![(1, 1, 1), (0, 1, 0)]);
+    }
+
+    #[test]
+    fn period_sample_merge_adds() {
+        let mut a = PeriodSample { syn: 3, synack: 2 };
+        a.merge(PeriodSample { syn: 10, synack: 1 });
+        assert_eq!(a, PeriodSample { syn: 13, synack: 3 });
+    }
+}

@@ -1,0 +1,106 @@
+//! Drives the compiled `syndog` binary end to end: generate → inject →
+//! detect → locate, through real files and process boundaries.
+
+use std::process::Command;
+
+fn syndog() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_syndog"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let output = syndog().args(args).output().expect("spawn syndog");
+    assert!(
+        output.status.success(),
+        "syndog {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn generate_inject_detect_locate_roundtrip() {
+    let dir = std::env::temp_dir();
+    let bg = dir.join("syndog_e2e_bg.bin");
+    let flooded = dir.join("syndog_e2e_flooded.bin");
+    let bg_s = bg.to_str().unwrap();
+    let flooded_s = flooded.to_str().unwrap();
+
+    let out = run_ok(&[
+        "generate", "--site", "auckland", "--seed", "3", "--out", bg_s,
+    ]);
+    assert!(out.contains("generated"), "{out}");
+
+    // Clean trace: no detection.
+    let out = run_ok(&["detect", "--in", bg_s, "--stub", "130.216.0.0/16"]);
+    assert!(out.contains("no flooding detected"), "{out}");
+
+    let out = run_ok(&[
+        "inject", "--in", bg_s, "--out", flooded_s, "--rate", "8", "--start", "1500", "--seed", "4",
+    ]);
+    assert!(out.contains("injected"), "{out}");
+
+    let out = run_ok(&["detect", "--in", flooded_s, "--stub", "130.216.0.0/16"]);
+    assert!(out.contains("FLOODING DETECTED"), "{out}");
+    // Flood starts at 1500 s = period 75; detection within 2 periods.
+    assert!(
+        out.contains("at period 75")
+            || out.contains("at period 76")
+            || out.contains("at period 77"),
+        "{out}"
+    );
+
+    let out = run_ok(&["locate", "--in", flooded_s, "--stub", "130.216.0.0/16"]);
+    assert!(out.contains("suspects"), "{out}");
+    assert!(
+        out.contains("02:ff:ff:00:de:ad"),
+        "default flood MAC named: {out}"
+    );
+
+    let _ = std::fs::remove_file(bg);
+    let _ = std::fs::remove_file(flooded);
+}
+
+#[test]
+fn pcap_path_works_through_the_binary() {
+    let dir = std::env::temp_dir();
+    let pcap = dir.join("syndog_e2e.pcap");
+    let pcap_s = pcap.to_str().unwrap();
+    run_ok(&["generate", "--site", "lbl", "--seed", "1", "--out", pcap_s]);
+    let out = run_ok(&[
+        "detect",
+        "--in",
+        pcap_s,
+        "--stub",
+        "128.3.0.0/16",
+        "--verbose",
+    ]);
+    assert!(out.contains("no flooding detected"), "{out}");
+    assert!(out.contains("period"), "verbose table shown: {out}");
+    let _ = std::fs::remove_file(pcap);
+}
+
+#[test]
+fn theory_subcommand_reports_paper_numbers() {
+    let out = run_ok(&["theory", "--k", "2114"]);
+    assert!(out.contains("36.99") || out.contains("37.0"), "{out}");
+    assert!(out.contains("378"), "{out}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let output = syndog().arg("frobnicate").output().expect("spawn");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn missing_required_flag_fails_cleanly() {
+    let output = syndog()
+        .args(["generate", "--site", "unc"])
+        .output()
+        .expect("spawn");
+    assert!(!output.status.success());
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(err.contains("--out"), "{err}");
+}

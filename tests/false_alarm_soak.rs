@@ -1,0 +1,100 @@
+//! False-alarm soak: many long clean runs across every site and both
+//! parameter sets — the deployment-blocking property (Figure 5 writ
+//! large). Also verifies the Figure 5 spike magnitudes stay in band.
+
+use syndog::{PeriodCounts, SynDogConfig, SynDogDetector};
+use syndog_sim::SimRng;
+use syndog_traffic::SiteProfile;
+
+fn run_clean(site: &SiteProfile, config: SynDogConfig, seed: u64) -> (usize, f64) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let counts = site.generate_period_counts(&mut rng);
+    let mut dog = SynDogDetector::new(config);
+    let mut alarms = 0;
+    let mut max_y = 0.0f64;
+    for c in &counts {
+        let d = dog.observe(PeriodCounts {
+            syn: c.syn,
+            synack: c.synack,
+        });
+        if d.alarm {
+            alarms += 1;
+        }
+        max_y = max_y.max(d.statistic);
+    }
+    (alarms, max_y)
+}
+
+#[test]
+fn no_false_alarms_default_parameters_all_sites_30_seeds() {
+    for site in SiteProfile::all() {
+        for seed in 0..30 {
+            let (alarms, _) = run_clean(&site, SynDogConfig::paper_default(), 500 + seed);
+            assert_eq!(alarms, 0, "{} seed {seed} false-alarmed", site.name());
+        }
+    }
+}
+
+#[test]
+fn tuned_parameters_clean_at_unc() {
+    // §4.2.3: the tuned (a = 0.2, N = 0.6) deployment must not introduce
+    // false alarms at UNC.
+    let site = SiteProfile::unc();
+    for seed in 0..30 {
+        let (alarms, _) = run_clean(&site, SynDogConfig::tuned_site_specific(), 900 + seed);
+        assert_eq!(alarms, 0, "tuned UNC seed {seed} false-alarmed");
+    }
+}
+
+#[test]
+fn figure5_spike_magnitudes_in_band() {
+    // Worst spike across seeds stays well below N = 1.05 and lands in the
+    // neighbourhood the paper reports (Harvard ≈ 0.05, Auckland ≈ 0.26).
+    let mut worst_harvard = 0.0f64;
+    let mut worst_auckland = 0.0f64;
+    for seed in 0..15 {
+        let (_, h) = run_clean(&SiteProfile::harvard(), SynDogConfig::paper_default(), seed);
+        let (_, a) = run_clean(
+            &SiteProfile::auckland(),
+            SynDogConfig::paper_default(),
+            seed,
+        );
+        worst_harvard = worst_harvard.max(h);
+        worst_auckland = worst_auckland.max(a);
+    }
+    assert!(worst_harvard < 0.3, "Harvard worst spike {worst_harvard}");
+    assert!(
+        worst_auckland < 0.6,
+        "Auckland worst spike {worst_auckland}"
+    );
+    assert!(
+        worst_auckland > 0.05,
+        "Auckland implausibly smooth: {worst_auckland}"
+    );
+}
+
+#[test]
+fn statistic_returns_to_zero_between_spikes() {
+    // y_n is "mostly zero" under normal operation (Figure 5): the fraction
+    // of zero periods dominates.
+    let site = SiteProfile::auckland();
+    let mut rng = SimRng::seed_from_u64(77);
+    let counts = site.generate_period_counts(&mut rng);
+    let mut dog = SynDogDetector::new(SynDogConfig::paper_default());
+    let zeros = counts
+        .iter()
+        .filter(|c| {
+            dog.observe(PeriodCounts {
+                syn: c.syn,
+                synack: c.synack,
+            })
+            .statistic
+                == 0.0
+        })
+        .count();
+    assert!(
+        zeros as f64 / counts.len() as f64 > 0.8,
+        "only {zeros}/{} zero periods",
+        counts.len()
+    );
+}
