@@ -1,0 +1,105 @@
+//! Per-frame vs batched ingestion: the cost the unified frame pipeline
+//! removes. The per-frame path allocates one `Vec<u8>` per frame and
+//! classifies each through an individual call; the batched path holds the
+//! same frames in one contiguous [`FrameBatch`] arena and folds them with
+//! `classify_batch` into a [`ClassCounts`] tally. A third pair measures
+//! the concurrent deployment's channel traffic: 1-frame submissions vs
+//! whole-batch submissions through `ConcurrentSynDog`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use syndog::SynDogConfig;
+use syndog_net::packet::PacketBuilder;
+use syndog_net::{classify, classify_batch, ClassCounts, FrameBatch, TcpFlags};
+use syndog_router::ConcurrentSynDog;
+use syndog_traffic::Direction;
+
+const FRAMES_PER_BATCH: usize = 1024;
+
+/// A realistic classification mix: mostly data/ACK traffic, a handshake
+/// minority, a trickle of junk.
+fn frame_mix() -> Vec<Vec<u8>> {
+    let src = "10.1.2.3:1025".parse().unwrap();
+    let dst = "192.0.2.80:80".parse().unwrap();
+    (0..FRAMES_PER_BATCH)
+        .map(|i| match i % 8 {
+            0 => PacketBuilder::tcp_syn(src, dst).build().unwrap(),
+            1 => PacketBuilder::tcp_syn_ack(dst, src).build().unwrap(),
+            2 => PacketBuilder::tcp(src, dst, TcpFlags::FIN | TcpFlags::ACK)
+                .build()
+                .unwrap(),
+            7 => vec![0u8; 9], // malformed
+            _ => PacketBuilder::tcp(src, dst, TcpFlags::ACK)
+                .payload(vec![0u8; 128])
+                .build()
+                .unwrap(),
+        })
+        .collect()
+}
+
+fn bench_classify_paths(c: &mut Criterion) {
+    let frames = frame_mix();
+    let batch: FrameBatch = frames.iter().collect();
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Elements(FRAMES_PER_BATCH as u64));
+    group.bench_function("classify_per_frame", |b| {
+        b.iter(|| {
+            let mut counts = ClassCounts::new();
+            for frame in &frames {
+                counts.record_outcome(&classify(black_box(frame)));
+            }
+            black_box(counts)
+        })
+    });
+    group.bench_function("classify_batched", |b| {
+        b.iter(|| black_box(classify_batch(black_box(&batch))))
+    });
+    // What building the per-frame representation itself costs: one Vec
+    // clone per frame vs appending into a recycled arena.
+    group.bench_function("assemble_per_frame_vecs", |b| {
+        b.iter(|| {
+            let copies: Vec<Vec<u8>> = frames.iter().map(|f| black_box(f.clone())).collect();
+            black_box(copies)
+        })
+    });
+    group.bench_function("assemble_batch_arena", |b| {
+        let mut arena = FrameBatch::with_capacity(frames.len(), batch.byte_len());
+        b.iter(|| {
+            arena.clear();
+            for frame in &frames {
+                arena.push(black_box(frame));
+            }
+            black_box(arena.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_concurrent_submission(c: &mut Criterion) {
+    let frames = frame_mix();
+    let mut group = c.benchmark_group("concurrent_submit");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(FRAMES_PER_BATCH as u64));
+    group.bench_function("per_frame_channel", |b| {
+        let dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 256);
+        b.iter(|| {
+            for frame in &frames {
+                dog.submit(Direction::Outbound, black_box(frame));
+            }
+            dog.flush();
+        });
+        drop(dog);
+    });
+    group.bench_function("batched_channel", |b| {
+        let dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 256);
+        b.iter(|| {
+            let batch: FrameBatch = frames.iter().collect();
+            dog.submit_batch(Direction::Outbound, black_box(batch));
+            dog.flush();
+        });
+        drop(dog);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify_paths, bench_concurrent_submission);
+criterion_main!(benches);

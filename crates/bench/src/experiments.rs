@@ -112,7 +112,7 @@ pub fn attack_trial(
 
 /// Sweeps flooding rates, aggregating `trials` seeded trials per rate.
 ///
-/// Trials are independent, so they fan out across a crossbeam scope sized
+/// Trials are independent, so they fan out across a thread scope sized
 /// to the machine; results are deterministic regardless of thread count
 /// because every trial's seed is a pure function of `(seed_base, rate, t)`.
 pub fn detection_sweep(
@@ -137,13 +137,13 @@ pub fn detection_sweep(
                 };
                 trials as usize
             ];
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (shard_index, shard) in outcomes
                     .chunks_mut(trials as usize / workers + 1)
                     .enumerate()
                 {
                     let offset = shard_index * (trials as usize / workers + 1);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (i, slot) in shard.iter_mut().enumerate() {
                             let t = (offset + i) as u64;
                             *slot = attack_trial(
@@ -156,8 +156,7 @@ pub fn detection_sweep(
                         }
                     });
                 }
-            })
-            .expect("sweep worker panicked");
+            });
             (rate, DetectionSummary::from_trials(&outcomes))
         })
         .collect()

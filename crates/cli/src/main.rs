@@ -4,13 +4,17 @@
 //! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
 //! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose]
+//! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose]
+//! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS]
 //! syndog locate   --in FILE --stub CIDR
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
 //!
 //! Trace files use the pcap format when the name ends in `.pcap`, the
 //! compact binary trace format otherwise. `detect` and `locate` run the
-//! same agent pipeline the experiments use.
+//! same agent pipeline the experiments use; `sniff` streams a capture
+//! through the batched `FrameSource` pipeline and `replay` drives the
+//! two-thread concurrent deployment over `FrameBatch` channels.
 
 use std::net::SocketAddrV4;
 use std::process::ExitCode;
@@ -18,9 +22,12 @@ use std::process::ExitCode;
 use syndog::{theory, SynDogConfig};
 use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
-use syndog_router::{SourceLocator, SynDogAgent};
+use syndog_router::{
+    ConcurrentSynDog, OverflowPolicy, PcapSource, SourceLocator, SynDogAgent, TraceSource,
+    DEFAULT_BATCH_SIZE,
+};
 use syndog_sim::{SimDuration, SimRng, SimTime};
-use syndog_traffic::{SiteProfile, Trace};
+use syndog_traffic::{Direction, SiteProfile, Trace, TraceRecord};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +39,8 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(rest),
         "inject" => cmd_inject(rest),
         "detect" => cmd_detect(rest),
+        "sniff" => cmd_sniff(rest),
+        "replay" => cmd_replay(rest),
         "locate" => cmd_locate(rest),
         "theory" => cmd_theory(rest),
         "--help" | "-h" | "help" => {
@@ -53,10 +62,15 @@ const USAGE: &str = "usage:
   syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
   syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose]
+  syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose]
+  syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS]
   syndog locate   --in FILE --stub CIDR
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
-FILE format: pcap when the name ends in .pcap, binary trace otherwise.";
+FILE format: pcap when the name ends in .pcap, binary trace otherwise.
+sniff streams the capture through the batched FrameSource pipeline;
+replay drives the two-thread concurrent deployment with FrameBatch
+channels (--drop sheds batches on overflow instead of blocking).";
 
 /// Minimal `--flag value` / `--switch` argument map.
 struct Flags {
@@ -228,7 +242,155 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let config = detect_config(&flags)?;
     let mut agent = SynDogAgent::new(stub, config);
     agent.run_trace(&trace);
-    if flags.has("verbose") {
+    print_detection_report(&agent, &config, flags.has("verbose"));
+    Ok(())
+}
+
+/// Parses `--batch-size` with the pipeline default and a positivity check.
+fn batch_size_flag(flags: &Flags) -> Result<usize, String> {
+    let batch_size: usize = flags.parse_value("batch-size", DEFAULT_BATCH_SIZE)?;
+    if batch_size == 0 {
+        return Err("--batch-size must be positive".into());
+    }
+    Ok(batch_size)
+}
+
+/// Streams a capture through the batched [`FrameSource`] pipeline — the
+/// same agent as `detect`, but fed by `PcapSource` (pcap input, read
+/// incrementally in `--batch-size` frame batches) or `TraceSource`
+/// (binary input) instead of a fully materialized trace.
+///
+/// [`FrameSource`]: syndog_router::FrameSource
+fn cmd_sniff(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["tuned", "verbose"])?;
+    let stub = stub_flag(&flags)?;
+    let input = flags.require("in")?;
+    let batch_size = batch_size_flag(&flags)?;
+    let config = detect_config(&flags)?;
+    let mut agent = SynDogAgent::new(stub, config);
+    if input.ends_with(".pcap") {
+        let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        let source = PcapSource::with_batch_size(std::io::BufReader::new(file), stub, batch_size)
+            .map_err(|e| format!("read {input}: {e}"))?;
+        agent
+            .run_source(source)
+            .map_err(|e| format!("sniff {input}: {e}"))?;
+    } else {
+        let trace = read_trace(input, stub)?;
+        agent
+            .run_source(TraceSource::with_batch_size(&trace, batch_size))
+            .map_err(|e| format!("sniff {input}: {e}"))?;
+    }
+    let router = agent.router();
+    println!(
+        "sniffed {} frames ({} malformed), batch size {batch_size}",
+        router.sniffer(Direction::Outbound).frames_seen()
+            + router.sniffer(Direction::Inbound).frames_seen(),
+        router.sniffer(Direction::Outbound).malformed()
+            + router.sniffer(Direction::Inbound).malformed(),
+    );
+    print_detection_report(&agent, &config, flags.has("verbose"));
+    Ok(())
+}
+
+/// Replays a trace through the two-thread concurrent deployment:
+/// per-direction [`FrameBatch`]es over bounded channels, lock-free atomic
+/// counters, a `flush` barrier at every period boundary.
+///
+/// [`FrameBatch`]: syndog_net::FrameBatch
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["tuned", "drop"])?;
+    let stub = stub_flag(&flags)?;
+    let trace = read_trace(flags.require("in")?, stub)?;
+    let batch_size = batch_size_flag(&flags)?;
+    let capacity: usize = flags.parse_value("capacity", 64)?;
+    if capacity == 0 {
+        return Err("--capacity must be positive".into());
+    }
+    let policy = if flags.has("drop") {
+        OverflowPolicy::Drop
+    } else {
+        OverflowPolicy::Block
+    };
+    let config = detect_config(&flags)?;
+    let period = SimDuration::from_secs_f64(config.observation_period_secs);
+    let total_periods = trace
+        .duration()
+        .as_micros()
+        .div_ceil(period.as_micros())
+        .max(1);
+    let mut dog = ConcurrentSynDog::with_policy(config, capacity, policy);
+
+    fn submit_pending(
+        dog: &ConcurrentSynDog,
+        direction: Direction,
+        pending: &mut Vec<TraceRecord>,
+    ) -> Result<(), String> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let batch = Trace::frame_batch(pending).map_err(|e| format!("synthesize frames: {e}"))?;
+        dog.submit_batch(direction, batch);
+        pending.clear();
+        Ok(())
+    }
+
+    let mut pending_out: Vec<TraceRecord> = Vec::with_capacity(batch_size);
+    let mut pending_in: Vec<TraceRecord> = Vec::with_capacity(batch_size);
+    let mut current_period = 0u64;
+    for record in trace.records() {
+        let p = record.time.period_index(period).min(total_periods);
+        while current_period < p {
+            submit_pending(&dog, Direction::Outbound, &mut pending_out)?;
+            submit_pending(&dog, Direction::Inbound, &mut pending_in)?;
+            dog.flush();
+            dog.close_period();
+            current_period += 1;
+        }
+        if p >= total_periods {
+            break; // past the trace's declared span, like run_trace
+        }
+        let pending = match record.direction {
+            Direction::Outbound => &mut pending_out,
+            Direction::Inbound => &mut pending_in,
+        };
+        pending.push(*record);
+        if pending.len() >= batch_size {
+            submit_pending(&dog, record.direction, pending)?;
+        }
+    }
+    submit_pending(&dog, Direction::Outbound, &mut pending_out)?;
+    submit_pending(&dog, Direction::Inbound, &mut pending_in)?;
+    while current_period < total_periods {
+        dog.flush();
+        dog.close_period();
+        current_period += 1;
+    }
+
+    let alarms = dog.detections().iter().filter(|d| d.alarm).count();
+    let first_alarm = dog.detections().iter().find(|d| d.alarm).copied();
+    let dropped_frames = dog.dropped_frames();
+    let dropped_batches = dog.dropped_batches();
+    let (out_frames, in_frames) = dog.shutdown();
+    println!(
+        "replayed {total_periods} periods through 2 sniffer threads: {out_frames} outbound / {in_frames} inbound frames (batch size {batch_size}, capacity {capacity})"
+    );
+    if dropped_batches > 0 {
+        println!("overflow shed {dropped_batches} batches / {dropped_frames} frames");
+    }
+    match first_alarm {
+        Some(first) => println!(
+            "FLOODING DETECTED at period {} (y = {:.3}); {alarms} alarm periods total",
+            first.period, first.statistic
+        ),
+        None => println!("no flooding detected"),
+    }
+    Ok(())
+}
+
+/// The shared `detect` / `sniff` result report.
+fn print_detection_report(agent: &SynDogAgent, config: &SynDogConfig, verbose: bool) {
+    if verbose {
         println!("period       delta        K         X_n        y_n  alarm");
         for d in agent.detections() {
             println!(
@@ -269,7 +431,6 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         }
         None => println!("no flooding detected"),
     }
-    Ok(())
 }
 
 fn cmd_locate(args: &[String]) -> Result<(), String> {
@@ -402,6 +563,71 @@ mod tests {
             detect_config(&Flags::parse(&args(&["--t0", "10"]), &["tuned"]).unwrap()).unwrap();
         assert_eq!(custom_t0.observation_period_secs, 10.0);
         assert!(detect_config(&Flags::parse(&args(&["--t0", "0"]), &["tuned"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sniff_and_replay_run_end_to_end() {
+        // A small flooded trace, exercised through both new subcommands in
+        // both file formats. These are smoke tests — count-level
+        // equivalence with the single-threaded path is pinned down in
+        // syndog-router's source/concurrent tests.
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(300),
+            victim(),
+        );
+        trace.merge(&flood.generate_trace(&mut rng));
+        let stub = site.stub().to_string();
+        for name in ["syndog_test_pipeline.bin", "syndog_test_pipeline.pcap"] {
+            let path = dir.join(name);
+            let path = path.to_str().unwrap();
+            write_trace(&trace, path).unwrap();
+            cmd_sniff(&args(&[
+                "--in",
+                path,
+                "--stub",
+                &stub,
+                "--batch-size",
+                "64",
+            ]))
+            .unwrap();
+            cmd_replay(&args(&[
+                "--in",
+                path,
+                "--stub",
+                &stub,
+                "--batch-size",
+                "64",
+                "--capacity",
+                "8",
+            ]))
+            .unwrap();
+            cmd_replay(&args(&["--in", path, "--stub", &stub, "--drop"])).unwrap();
+            let _ = std::fs::remove_file(path);
+        }
+        assert!(cmd_sniff(&args(&[
+            "--in",
+            "x.bin",
+            "--stub",
+            &stub,
+            "--batch-size",
+            "0"
+        ]))
+        .is_err());
+        assert!(cmd_replay(&args(&[
+            "--in",
+            "x.bin",
+            "--stub",
+            &stub,
+            "--capacity",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

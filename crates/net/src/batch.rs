@@ -1,0 +1,423 @@
+//! Batched frame ingestion: the arena that carries frames through the
+//! pipeline and the flat tally the classifier folds a batch into.
+//!
+//! The paper's detector (§2) never needs frames individually once they are
+//! classified — each observation period only needs *how many* segments of
+//! each kind passed the sniffer. The hot path therefore wants two things the
+//! per-frame API cannot give it:
+//!
+//! - **one allocation per batch, not per frame** — [`FrameBatch`] stores all
+//!   frames back-to-back in a single buffer and hands them out as borrowed
+//!   `&[u8]` slices, so refilling a warm batch allocates nothing at all;
+//! - **one counter bump per frame, not one channel message** —
+//!   [`classify_batch`] folds a whole batch into a [`ClassCounts`] tally that
+//!   downstream consumers merge with a handful of atomic adds.
+//!
+//! [`classify_batch`] is definitionally equivalent to mapping
+//! [`classify`](crate::classify::classify()) over the batch: a property test in
+//! `tests/prop.rs` pins that equivalence over arbitrary frame mixes.
+//!
+//! ```
+//! use syndog_net::batch::{classify_batch, FrameBatch};
+//! use syndog_net::classify::SegmentKind;
+//! use syndog_net::packet::PacketBuilder;
+//!
+//! # fn main() -> Result<(), syndog_net::NetError> {
+//! let syn = PacketBuilder::tcp_syn("10.0.0.7:1025".parse().unwrap(),
+//!                                  "192.0.2.80:80".parse().unwrap())
+//!     .build()?;
+//! let mut batch = FrameBatch::new();
+//! batch.push(&syn);
+//! batch.push(&syn);
+//! let counts = classify_batch(&batch);
+//! assert_eq!(counts.get(SegmentKind::Syn), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::classify::{classify, SegmentKind};
+
+/// A contiguous arena of raw Ethernet frames.
+///
+/// Frames are appended with [`push`](FrameBatch::push) (or
+/// [`push_with`](FrameBatch::push_with) to fill bytes in place, e.g. straight
+/// from a pcap record) and read back as borrowed slices. [`clear`] keeps the
+/// allocations, so a recycled batch reaches a steady state where the hot
+/// path performs no allocation per frame or per batch.
+///
+/// [`clear`]: FrameBatch::clear
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameBatch {
+    /// All frame bytes, back to back.
+    buffer: Vec<u8>,
+    /// End offset of each frame in `buffer`; frame `i` spans
+    /// `ends[i - 1]..ends[i]` (with an implicit leading 0).
+    ends: Vec<usize>,
+}
+
+impl FrameBatch {
+    /// An empty batch with no reserved space.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// An empty batch with space reserved for `frames` frames totalling
+    /// `bytes` bytes.
+    pub fn with_capacity(frames: usize, bytes: usize) -> Self {
+        FrameBatch {
+            buffer: Vec::with_capacity(bytes),
+            ends: Vec::with_capacity(frames),
+        }
+    }
+
+    /// Appends a frame by copying its bytes into the arena.
+    pub fn push(&mut self, frame: &[u8]) {
+        self.buffer.extend_from_slice(frame);
+        self.ends.push(self.buffer.len());
+    }
+
+    /// Appends a `len`-byte frame whose bytes are produced in place by
+    /// `fill`, avoiding an intermediate copy (used by
+    /// [`PcapReader::next_packet_into`](crate::pcap::PcapReader::next_packet_into)
+    /// to read record bodies directly into the arena).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fill`'s error; on error the batch is left exactly as it
+    /// was before the call.
+    pub fn push_with<E>(
+        &mut self,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let start = self.buffer.len();
+        self.buffer.resize(start + len, 0);
+        match fill(&mut self.buffer[start..]) {
+            Ok(()) => {
+                self.ends.push(self.buffer.len());
+                Ok(())
+            }
+            Err(err) => {
+                self.buffer.truncate(start);
+                Err(err)
+            }
+        }
+    }
+
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total bytes across all frames.
+    pub fn byte_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Removes all frames, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.buffer.clear();
+        self.ends.clear();
+    }
+
+    /// The bytes of frame `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<&[u8]> {
+        let end = *self.ends.get(index)?;
+        let start = if index == 0 { 0 } else { self.ends[index - 1] };
+        Some(&self.buffer[start..end])
+    }
+
+    /// Iterates over the frames as borrowed slices.
+    pub fn iter(&self) -> Frames<'_> {
+        Frames {
+            batch: self,
+            next: 0,
+            start: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FrameBatch {
+    type Item = &'a [u8];
+    type IntoIter = Frames<'a>;
+
+    fn into_iter(self) -> Frames<'a> {
+        self.iter()
+    }
+}
+
+impl<F: AsRef<[u8]>> FromIterator<F> for FrameBatch {
+    fn from_iter<I: IntoIterator<Item = F>>(frames: I) -> Self {
+        let mut batch = FrameBatch::new();
+        for frame in frames {
+            batch.push(frame.as_ref());
+        }
+        batch
+    }
+}
+
+/// Iterator over the frames of a [`FrameBatch`].
+#[derive(Debug, Clone)]
+pub struct Frames<'a> {
+    batch: &'a FrameBatch,
+    next: usize,
+    start: usize,
+}
+
+impl<'a> Iterator for Frames<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let end = *self.batch.ends.get(self.next)?;
+        let frame = &self.batch.buffer[self.start..end];
+        self.start = end;
+        self.next += 1;
+        Some(frame)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.batch.ends.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Frames<'_> {}
+
+/// A flat tally of classification outcomes: one counter per
+/// [`SegmentKind`] plus one for frames the classifier rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    counts: [u64; SegmentKind::ALL.len()],
+    malformed: u64,
+}
+
+impl ClassCounts {
+    /// An all-zero tally.
+    pub fn new() -> Self {
+        ClassCounts::default()
+    }
+
+    /// Adds one frame of the given kind.
+    pub fn record(&mut self, kind: SegmentKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Adds one frame the classifier rejected (truncated/invalid).
+    pub fn record_malformed(&mut self) {
+        self.malformed += 1;
+    }
+
+    /// Adds `count` frames of the given kind at once (used when rebuilding
+    /// a tally from externally accumulated counters, e.g. the concurrent
+    /// router's atomics).
+    pub fn add(&mut self, kind: SegmentKind, count: u64) {
+        self.counts[kind.index()] += count;
+    }
+
+    /// Adds `count` malformed frames at once.
+    pub fn add_malformed(&mut self, count: u64) {
+        self.malformed += count;
+    }
+
+    /// Adds one classification outcome, well-formed or not.
+    pub fn record_outcome<E>(&mut self, outcome: &Result<SegmentKind, E>) {
+        match outcome {
+            Ok(kind) => self.record(*kind),
+            Err(_) => self.record_malformed(),
+        }
+    }
+
+    /// The tally for one kind.
+    pub fn get(&self, kind: SegmentKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Frames the classifier rejected.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// SYN segments — what the outbound (first-mile) sniffer counts.
+    pub fn syn(&self) -> u64 {
+        self.get(SegmentKind::Syn)
+    }
+
+    /// SYN/ACK segments — what the inbound (last-mile) sniffer counts.
+    pub fn synack(&self) -> u64 {
+        self.get(SegmentKind::SynAck)
+    }
+
+    /// All frames recorded, classified or malformed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.malformed
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &ClassCounts) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.malformed += other.malformed;
+    }
+
+    /// Iterates `(kind, count)` pairs in [`SegmentKind::ALL`] order,
+    /// including zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (SegmentKind, u64)> + '_ {
+        SegmentKind::ALL
+            .iter()
+            .map(move |&kind| (kind, self.get(kind)))
+    }
+}
+
+/// Classifies every frame in a batch into one tally.
+///
+/// Equivalent to folding [`classify`] over [`FrameBatch::iter`] — the
+/// classification of each frame is identical; only the bookkeeping is
+/// batched. Malformed frames land in [`ClassCounts::malformed`] rather than
+/// aborting the batch, because one corrupt capture record must not stall a
+/// sniffer (the concurrent router's resilience tests rely on this).
+pub fn classify_batch(batch: &FrameBatch) -> ClassCounts {
+    let mut counts = ClassCounts::new();
+    for frame in batch {
+        counts.record_outcome(&classify(frame));
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+    use crate::tcp::TcpFlags;
+    use std::net::SocketAddrV4;
+
+    fn addr(s: &str) -> SocketAddrV4 {
+        s.parse().unwrap()
+    }
+
+    fn frame(flags: TcpFlags) -> Vec<u8> {
+        PacketBuilder::tcp(addr("10.0.0.1:1025"), addr("192.0.2.80:80"), flags)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_stores_and_returns_frames_verbatim() {
+        let frames = [frame(TcpFlags::SYN), frame(TcpFlags::ACK), vec![7u8; 3]];
+        let batch: FrameBatch = frames.iter().collect();
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.byte_len(), frames.iter().map(Vec::len).sum::<usize>());
+        for (i, expected) in frames.iter().enumerate() {
+            assert_eq!(batch.get(i).unwrap(), expected.as_slice());
+        }
+        assert!(batch.get(3).is_none());
+        let collected: Vec<_> = batch.iter().map(<[u8]>::to_vec).collect();
+        assert_eq!(collected, frames);
+    }
+
+    #[test]
+    fn empty_and_zero_length_frames() {
+        let mut batch = FrameBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.iter().count(), 0);
+        batch.push(&[]);
+        batch.push(&[1]);
+        batch.push(&[]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.get(0).unwrap(), &[] as &[u8]);
+        assert_eq!(batch.get(1).unwrap(), &[1]);
+        assert_eq!(batch.get(2).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut batch = FrameBatch::with_capacity(4, 1024);
+        for _ in 0..4 {
+            batch.push(&[0u8; 64]);
+        }
+        let bytes_cap_before = batch.buffer.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.byte_len(), 0);
+        assert_eq!(batch.buffer.capacity(), bytes_cap_before);
+    }
+
+    #[test]
+    fn push_with_fills_in_place_and_rolls_back_on_error() {
+        let mut batch = FrameBatch::new();
+        batch
+            .push_with(3, |out| {
+                out.copy_from_slice(&[1, 2, 3]);
+                Ok::<_, ()>(())
+            })
+            .unwrap();
+        assert_eq!(batch.get(0).unwrap(), &[1, 2, 3]);
+        let err = batch.push_with(5, |_| Err::<(), _>("boom")).unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.byte_len(), 3);
+    }
+
+    #[test]
+    fn classify_batch_matches_per_frame_classify() {
+        let mut batch = FrameBatch::new();
+        let frames = [
+            frame(TcpFlags::SYN),
+            frame(TcpFlags::SYN | TcpFlags::ACK),
+            frame(TcpFlags::ACK),
+            frame(TcpFlags::RST),
+            vec![0u8; 5],  // truncated -> malformed
+            vec![0u8; 64], // zero ethertype -> NonTcp
+        ];
+        for f in &frames {
+            batch.push(f);
+        }
+        let counts = classify_batch(&batch);
+        let mut expected = ClassCounts::new();
+        for f in &frames {
+            expected.record_outcome(&crate::classify::classify(f));
+        }
+        assert_eq!(counts, expected);
+        assert_eq!(counts.syn(), 1);
+        assert_eq!(counts.synack(), 1);
+        assert_eq!(counts.malformed(), 1);
+        assert_eq!(counts.get(SegmentKind::NonTcp), 1);
+        assert_eq!(counts.total(), frames.len() as u64);
+    }
+
+    #[test]
+    fn merge_adds_tallies() {
+        let mut a = ClassCounts::new();
+        a.record(SegmentKind::Syn);
+        a.record_malformed();
+        let mut b = ClassCounts::new();
+        b.record(SegmentKind::Syn);
+        b.record(SegmentKind::Fin);
+        a.merge(&b);
+        assert_eq!(a.syn(), 2);
+        assert_eq!(a.get(SegmentKind::Fin), 1);
+        assert_eq!(a.malformed(), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn iter_covers_every_kind_in_order() {
+        let counts = classify_batch(&[frame(TcpFlags::SYN)].iter().collect());
+        let kinds: Vec<_> = counts.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, SegmentKind::ALL);
+        assert_eq!(counts.iter().map(|(_, n)| n).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn segment_kind_index_roundtrips() {
+        for (i, kind) in SegmentKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+}

@@ -40,6 +40,31 @@ pub enum SegmentKind {
 }
 
 impl SegmentKind {
+    /// Every kind, in tally order. `ALL[k.index()] == k` for each kind `k`,
+    /// which is what lets [`crate::batch::ClassCounts`] use a flat array.
+    pub const ALL: [SegmentKind; 7] = [
+        SegmentKind::Syn,
+        SegmentKind::SynAck,
+        SegmentKind::Rst,
+        SegmentKind::Fin,
+        SegmentKind::Ack,
+        SegmentKind::OtherTcp,
+        SegmentKind::NonTcp,
+    ];
+
+    /// This kind's position in [`SegmentKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SegmentKind::Syn => 0,
+            SegmentKind::SynAck => 1,
+            SegmentKind::Rst => 2,
+            SegmentKind::Fin => 3,
+            SegmentKind::Ack => 4,
+            SegmentKind::OtherTcp => 5,
+            SegmentKind::NonTcp => 6,
+        }
+    }
+
     /// Returns `true` for the two kinds SYN-dog counts.
     pub fn is_handshake_signal(&self) -> bool {
         matches!(self, SegmentKind::Syn | SegmentKind::SynAck)

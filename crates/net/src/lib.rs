@@ -9,6 +9,8 @@
 //! - [`packet`] — an owned, full-stack packet type and builder,
 //! - [`mod@classify`] — the paper's packet-classification algorithm (§2) that
 //!   distinguishes TCP control segments (SYN, SYN/ACK, FIN, RST, …) from data,
+//! - [`batch`] — the batched ingestion arena ([`batch::FrameBatch`]) and
+//!   per-kind tally ([`batch::ClassCounts`]) the hot path runs on,
 //! - [`frag`] — IPv4 fragmentation/reassembly and the RFC 1858
 //!   tiny-fragment filter that keeps the classifier sound under evasive
 //!   fragmentation,
@@ -34,6 +36,7 @@
 //! ```
 
 pub mod addr;
+pub mod batch;
 pub mod classify;
 pub mod error;
 pub mod ethernet;
@@ -44,6 +47,7 @@ pub mod pcap;
 pub mod tcp;
 
 pub use addr::{Ipv4Net, MacAddr};
+pub use batch::{classify_batch, ClassCounts, FrameBatch};
 pub use classify::{classify, SegmentKind};
 pub use error::NetError;
 pub use ethernet::EtherType;

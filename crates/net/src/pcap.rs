@@ -196,6 +196,67 @@ impl<R: Read> PcapReader<R> {
         }))
     }
 
+    /// Reads the next packet record's bytes directly into `batch`, avoiding
+    /// the per-packet `Vec` of [`next_packet`](PcapReader::next_packet).
+    ///
+    /// On success returns the record's timestamp as `Some((ts_sec,
+    /// ts_nanos))`; returns `Ok(None)` at a clean end of file, leaving
+    /// `batch` untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`next_packet`](PcapReader::next_packet); on error
+    /// no frame is appended to `batch`.
+    pub fn next_packet_into(
+        &mut self,
+        batch: &mut crate::batch::FrameBatch,
+    ) -> Result<Option<(u32, u32)>, NetError> {
+        let mut rec = [0u8; 16];
+        match self.inner.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(err) => return Err(err.into()),
+        }
+        let u32_at = |bytes: &[u8], at: usize| -> u32 {
+            let quad = [bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]];
+            if self.header.big_endian {
+                u32::from_be_bytes(quad)
+            } else {
+                u32::from_le_bytes(quad)
+            }
+        };
+        let ts_sec = u32_at(&rec, 0);
+        let ts_frac = u32_at(&rec, 4);
+        let caplen = u32_at(&rec, 8);
+        if caplen > (1 << 28) {
+            return Err(NetError::InvalidField {
+                layer: "pcap record",
+                field: "caplen",
+                value: u64::from(caplen),
+            });
+        }
+        let inner = &mut self.inner;
+        batch.push_with(caplen as usize, |out| {
+            inner.read_exact(out).map_err(|err| {
+                if err.kind() == std::io::ErrorKind::UnexpectedEof {
+                    NetError::Truncated {
+                        layer: "pcap record",
+                        needed: caplen as usize,
+                        available: 0,
+                    }
+                } else {
+                    NetError::Io(err)
+                }
+            })
+        })?;
+        let ts_nanos = if self.header.nanosecond {
+            ts_frac
+        } else {
+            ts_frac.saturating_mul(1000)
+        };
+        Ok(Some((ts_sec, ts_nanos)))
+    }
+
     /// Iterates over all remaining packets, stopping at the first error.
     pub fn packets(&mut self) -> Packets<'_, R> {
         Packets { reader: self }
@@ -425,6 +486,46 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn next_packet_into_matches_next_packet() {
+        let original = sample_packets();
+        let file = write_all(&original);
+        let mut by_value = PcapReader::new(Cursor::new(file.clone())).unwrap();
+        let mut into_batch = PcapReader::new(Cursor::new(file)).unwrap();
+        let mut batch = crate::batch::FrameBatch::new();
+        let mut stamps = Vec::new();
+        while let Some(stamp) = into_batch.next_packet_into(&mut batch).unwrap() {
+            stamps.push(stamp);
+        }
+        assert_eq!(batch.len(), original.len());
+        for (i, stamp) in stamps.iter().enumerate() {
+            let expected = by_value.next_packet().unwrap().unwrap();
+            assert_eq!(*stamp, (expected.ts_sec, expected.ts_nanos));
+            assert_eq!(batch.get(i).unwrap(), expected.data.as_slice());
+        }
+        assert!(by_value.next_packet().unwrap().is_none());
+        // A clean EOF leaves the batch untouched.
+        assert!(into_batch.next_packet_into(&mut batch).unwrap().is_none());
+        assert_eq!(batch.len(), original.len());
+    }
+
+    #[test]
+    fn next_packet_into_truncated_body_leaves_batch_clean() {
+        let mut file = write_all(&sample_packets()[..1]);
+        file.truncate(file.len() - 2);
+        let mut reader = PcapReader::new(Cursor::new(file)).unwrap();
+        let mut batch = crate::batch::FrameBatch::new();
+        let err = reader.next_packet_into(&mut batch).unwrap_err();
+        assert!(matches!(
+            err,
+            NetError::Truncated {
+                layer: "pcap record",
+                ..
+            }
+        ));
+        assert!(batch.is_empty());
     }
 
     #[test]

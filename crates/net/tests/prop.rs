@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use std::io::Cursor;
 use std::net::{Ipv4Addr, SocketAddrV4};
 
+use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
 use syndog_net::classify::{classify, kind_of};
 use syndog_net::ipv4::{internet_checksum, Ipv4Header};
 use syndog_net::packet::{Packet, PacketBuilder};
@@ -19,7 +20,68 @@ fn arb_socket() -> impl Strategy<Value = SocketAddrV4> {
     (arb_ipv4(), any::<u16>()).prop_map(|(ip, port)| SocketAddrV4::new(ip, port))
 }
 
+/// An arbitrary frame drawn from every shape the sniffer can meet on the
+/// wire: TCP with any of the 64 flag combinations, later IP fragments,
+/// non-TCP protocols, truncated frames, foreign ethertypes, raw garbage.
+fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Well-formed TCP, all 64 flag combinations.
+        (arb_socket(), arb_socket(), 0u8..64).prop_map(|(src, dst, bits)| {
+            PacketBuilder::tcp(src, dst, TcpFlags::from_bits_truncate(bits))
+                .build()
+                .unwrap()
+        }),
+        // A later fragment: protocol 6 but no TCP header to read.
+        (arb_socket(), arb_socket(), 1u16..2048).prop_map(|(src, dst, offset)| {
+            PacketBuilder::tcp(src, dst, TcpFlags::SYN)
+                .fragment_offset(offset)
+                .payload(vec![0u8; 32])
+                .build()
+                .unwrap()
+        }),
+        // Non-TCP IPv4 (UDP, ICMP, anything).
+        (arb_ipv4(), arb_ipv4(), any::<u8>()).prop_map(|(src, dst, proto)| {
+            PacketBuilder::non_tcp(src, dst, proto).build().unwrap()
+        }),
+        // A valid frame truncated mid-header.
+        (arb_socket(), arb_socket(), 0usize..54).prop_map(|(src, dst, keep)| {
+            let frame = PacketBuilder::tcp_syn(src, dst).build().unwrap();
+            frame[..keep.min(frame.len())].to_vec()
+        }),
+        // A non-IPv4 ethertype (ARP, IPv6, VLAN...) over a TCP body.
+        (arb_socket(), arb_socket(), any::<u16>()).prop_map(|(src, dst, ethertype)| {
+            let mut frame = PacketBuilder::tcp_syn(src, dst).build().unwrap();
+            frame[12] = (ethertype >> 8) as u8;
+            frame[13] = ethertype as u8;
+            frame
+        }),
+        // Raw garbage bytes.
+        proptest::collection::vec(any::<u8>(), 0..64),
+    ]
+}
+
 proptest! {
+    /// Batched classification agrees exactly with the per-frame fold over
+    /// any mix of well-formed, fragmented, truncated, non-TCP and
+    /// non-IPv4 frames — the equivalence the whole batched ingestion
+    /// pipeline rests on.
+    #[test]
+    fn classify_batch_matches_per_frame_fold(
+        frames in proptest::collection::vec(arb_frame(), 0..64),
+    ) {
+        let batch: FrameBatch = frames.iter().collect();
+        prop_assert_eq!(batch.len(), frames.len());
+        let mut folded = ClassCounts::new();
+        for frame in &frames {
+            folded.record_outcome(&classify(frame));
+        }
+        prop_assert_eq!(classify_batch(&batch), folded);
+        // The arena hands back byte-identical frames.
+        for (stored, original) in batch.iter().zip(&frames) {
+            prop_assert_eq!(stored, original.as_slice());
+        }
+    }
+
     /// Any built TCP packet decodes back to the same endpoints, flags,
     /// sequence numbers and payload.
     #[test]

@@ -13,6 +13,7 @@ use syndog_sim::{SimDuration, SimTime};
 use syndog_traffic::trace::{PeriodSample, Trace, TraceRecord};
 
 use crate::router::LeafRouter;
+use crate::source::{FrameSource, TraceSource};
 
 /// A raised flooding alarm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,13 +93,31 @@ impl SynDogAgent {
         detection
     }
 
-    /// Runs a whole trace through router and detector.
-    pub fn run_trace(&mut self, trace: &Trace) -> Vec<Detection> {
-        let samples = self.router.run_trace(trace);
-        samples
+    /// Runs any [`FrameSource`] through router and detector — the one
+    /// ingestion entry point; trace, raw-frame and pcap runs all land
+    /// here and close periods through
+    /// [`LeafRouter::ingest`](crate::router::LeafRouter::ingest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O errors (pcap streams); in-memory sources
+    /// never fail.
+    pub fn run_source<S: FrameSource>(
+        &mut self,
+        source: S,
+    ) -> Result<Vec<Detection>, syndog_net::NetError> {
+        let mut samples = Vec::new();
+        self.router.ingest(source, &mut samples)?;
+        Ok(samples
             .into_iter()
             .map(|s| self.observe_period(s))
-            .collect()
+            .collect())
+    }
+
+    /// Runs a whole trace through router and detector.
+    pub fn run_trace(&mut self, trace: &Trace) -> Vec<Detection> {
+        self.run_source(TraceSource::new(trace))
+            .expect("trace sources perform no I/O and cannot fail")
     }
 
     /// Streams one record through the router, closing periods (and running

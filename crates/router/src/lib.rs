@@ -17,9 +17,16 @@
 //!   the detection series, exploiting the CUSUM's climb-and-drain shape,
 //! - [`locate`] — §4.2.3's post-alarm source localization by per-MAC
 //!   accounting of spoofed-source SYNs,
+//! - [`source`] — the unified ingestion boundary: a [`FrameSource`]
+//!   produces batches of classified events from trace records, raw
+//!   frames or pcap captures, and [`LeafRouter::ingest`] is the single
+//!   period-close code path all of them (and the concurrent deployment)
+//!   share,
 //! - [`concurrent`] — the two-thread shared-memory deployment shape
-//!   described in the paper, with sniffer threads feeding a coordinator
-//!   over channels.
+//!   described in the paper, with sniffer threads feeding lock-free
+//!   atomic counters from batched frame channels.
+//!
+//! [`LeafRouter::ingest`]: router::LeafRouter::ingest
 
 pub mod agent;
 pub mod concurrent;
@@ -27,9 +34,15 @@ pub mod episodes;
 pub mod locate;
 pub mod router;
 pub mod sniffer;
+pub mod source;
 
 pub use agent::{Alarm, SynDogAgent};
+pub use concurrent::{ConcurrentSynDog, OverflowPolicy};
 pub use episodes::{extract_episodes, AttackEpisode};
 pub use locate::SourceLocator;
 pub use router::LeafRouter;
 pub use sniffer::Sniffer;
+pub use source::{
+    EventBatch, FrameEvent, FrameSource, PcapSource, RawFrameSource, TraceSource,
+    DEFAULT_BATCH_SIZE,
+};

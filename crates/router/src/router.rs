@@ -7,7 +7,11 @@
 //! - **record-driven** — feed it [`TraceRecord`]s (already classified and
 //!   direction-tagged), the fast path used by the big experiments,
 //! - **frame-driven** — feed it raw Ethernet frames per interface, which
-//!   exercises the real §2 classifier on every packet.
+//!   exercises the real §2 classifier on every packet,
+//! - **source-driven** — hand it any [`FrameSource`] (trace, raw frames,
+//!   pcap) and let [`LeafRouter::ingest`] drive the whole run. The other
+//!   two modes and the concurrent deployment all share this single
+//!   period-close code path.
 //!
 //! Period boundaries are handled exactly: a record at `t` lands in period
 //! `⌊t / t0⌋`, and [`LeafRouter::advance_to`] closes every period that
@@ -18,6 +22,7 @@ use syndog_sim::{SimDuration, SimTime};
 use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
 
 use crate::sniffer::Sniffer;
+use crate::source::{EventBatch, FrameEvent, FrameSource, TraceSource};
 
 /// A leaf router with SYN-dog sniffers on both interfaces.
 #[derive(Debug, Clone)]
@@ -111,28 +116,83 @@ impl LeafRouter {
         }
     }
 
+    /// Batched input: folds a pre-classified tally into the given
+    /// interface's sniffer (the concurrent deployment drains its atomic
+    /// counters through here, so its periods close through the same
+    /// [`LeafRouter::take_period_sample`] as every other mode).
+    pub fn observe_counts(&mut self, direction: Direction, counts: &syndog_net::ClassCounts) {
+        match direction {
+            Direction::Outbound => self.outbound.observe_counts(counts),
+            Direction::Inbound => self.inbound.observe_counts(counts),
+        }
+    }
+
+    /// Routes one classified event to the right sniffer (malformed events
+    /// are tallied without touching the period counts).
+    pub fn observe_event(&mut self, event: &FrameEvent) {
+        let sniffer = match event.direction {
+            Direction::Outbound => &mut self.outbound,
+            Direction::Inbound => &mut self.inbound,
+        };
+        match event.kind {
+            Some(kind) => sniffer.observe_kind(kind),
+            None => sniffer.observe_malformed(),
+        }
+    }
+
+    /// Drives a [`FrameSource`] to exhaustion through the router — **the**
+    /// period-close code path: every ingestion mode (trace records, raw
+    /// frames, pcap, and the concurrent deployment's coordinator) funnels
+    /// into this loop, so period semantics are defined in exactly one
+    /// place.
+    ///
+    /// Each closed period pushes one sample into `samples` (empty periods
+    /// included — silence is data). If the source knows its duration, the
+    /// run is squared off to `ceil(duration / t0)` periods and stray
+    /// events past the end are ignored, exactly like
+    /// [`Trace::period_counts`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O errors (pcap streams); in-memory sources
+    /// never fail. Periods closed before the error remain in `samples`.
+    pub fn ingest<S: FrameSource>(
+        &mut self,
+        mut source: S,
+        samples: &mut Vec<PeriodSample>,
+    ) -> Result<(), syndog_net::NetError> {
+        let base = self.current_period;
+        let last = source
+            .duration()
+            .map(|d| base + d.as_micros().div_ceil(self.period.as_micros()));
+        let mut batch = EventBatch::new();
+        while source.next_batch(&mut batch)? {
+            for event in batch.events() {
+                // Handshake tails may extend past the source's nominal
+                // duration; like Trace::period_counts, ignore them.
+                if let Some(last) = last {
+                    if event.time.period_index(self.period) >= last {
+                        continue;
+                    }
+                }
+                self.advance_to(event.time, samples);
+                self.observe_event(event);
+            }
+        }
+        if let Some(last) = last {
+            while self.current_period < last {
+                samples.push(self.take_period_sample());
+            }
+        }
+        Ok(())
+    }
+
     /// Runs a whole trace through the router, returning one sample per
     /// observation period covering the trace's full duration.
     pub fn run_trace(&mut self, trace: &Trace) -> Vec<PeriodSample> {
-        let base = self.current_period;
-        let total_periods = trace
-            .duration()
-            .as_micros()
-            .div_ceil(self.period.as_micros());
-        let last = base + total_periods;
         let mut samples = Vec::new();
-        for record in trace.records() {
-            // Handshake tails may extend past the trace's nominal
-            // duration; like Trace::period_counts, ignore them.
-            if record.time.period_index(self.period) >= last {
-                continue;
-            }
-            self.advance_to(record.time, &mut samples);
-            self.observe_record(record);
-        }
-        while self.current_period < last {
-            samples.push(self.take_period_sample());
-        }
+        self.ingest(TraceSource::new(trace), &mut samples)
+            .expect("trace sources perform no I/O and cannot fail");
         samples
     }
 }
@@ -259,5 +319,87 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_period_rejected() {
         let _ = LeafRouter::new(stub(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ingest_from_pcap_matches_run_trace() {
+        use crate::source::PcapSource;
+        use syndog_sim::SimRng;
+        use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(23);
+        let trace = site.generate_trace(&mut rng);
+        let mut file = Vec::new();
+        trace.write_pcap(&mut file).unwrap();
+
+        let mut by_trace = LeafRouter::new(site.stub(), OBSERVATION_PERIOD);
+        let expected = by_trace.run_trace(&trace);
+
+        let mut source = PcapSource::new(file.as_slice(), site.stub()).unwrap();
+        source.set_duration(trace.duration());
+        let mut by_pcap = LeafRouter::new(site.stub(), OBSERVATION_PERIOD);
+        let mut samples = Vec::new();
+        by_pcap.ingest(source, &mut samples).unwrap();
+        assert_eq!(samples, expected);
+    }
+
+    #[test]
+    fn ingest_from_raw_frames_matches_run_trace() {
+        use crate::source::RawFrameSource;
+        use syndog_net::packet::PacketBuilder;
+        let trace = Trace::from_records(
+            vec![
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+                rec(2.0, Direction::Inbound, SegmentKind::SynAck),
+                rec(21.0, Direction::Outbound, SegmentKind::Syn),
+                rec(59.0, Direction::Inbound, SegmentKind::SynAck),
+            ],
+            SimDuration::from_secs(60),
+        );
+        let mut by_trace = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let expected = by_trace.run_trace(&trace);
+
+        // Re-synthesize each record as a raw frame, plus one malformed
+        // frame that must only show up in the malformed tally.
+        let mut source = RawFrameSource::with_batch_size(2);
+        for r in trace.records() {
+            let flags = match r.kind {
+                SegmentKind::Syn => syndog_net::TcpFlags::SYN,
+                SegmentKind::SynAck => syndog_net::TcpFlags::SYN | syndog_net::TcpFlags::ACK,
+                _ => unreachable!("test trace holds handshake records only"),
+            };
+            let frame = PacketBuilder::tcp(r.src, r.dst, flags).build().unwrap();
+            source.push(r.time, r.direction, &frame);
+        }
+        source.push(SimTime::from_secs(59), Direction::Outbound, &[0u8; 6]);
+        source.set_duration(trace.duration());
+
+        let mut by_frames = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let mut samples = Vec::new();
+        by_frames.ingest(source, &mut samples).unwrap();
+        assert_eq!(samples, expected);
+        assert_eq!(by_frames.sniffer(Direction::Outbound).malformed(), 1);
+    }
+
+    #[test]
+    fn ingest_without_duration_closes_no_trailing_periods() {
+        use crate::source::RawFrameSource;
+        let mut source = RawFrameSource::new();
+        source.push(
+            SimTime::from_secs(1),
+            Direction::Outbound,
+            &syndog_net::packet::PacketBuilder::tcp_syn(
+                "10.1.0.5:1025".parse().unwrap(),
+                "192.0.2.80:80".parse().unwrap(),
+            )
+            .build()
+            .unwrap(),
+        );
+        let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
+        let mut samples = Vec::new();
+        router.ingest(source, &mut samples).unwrap();
+        // The event's own period is still open: no duration, no square-off.
+        assert!(samples.is_empty());
+        assert_eq!(router.take_period_sample().syn, 1);
     }
 }

@@ -8,6 +8,7 @@
 //! constant no matter how hard it is flooded — the property that makes
 //! SYN-dog itself immune to the attacks it detects.
 
+use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
 use syndog_net::classify::{classify, SegmentKind};
 use syndog_net::NetError;
 use syndog_traffic::trace::{Direction, PeriodSample};
@@ -87,6 +88,30 @@ impl Sniffer {
             SegmentKind::SynAck => self.synack += 1,
             _ => {}
         }
+    }
+
+    /// Records a frame that failed classification, without classifying it
+    /// here (the batched path has already tried).
+    pub fn observe_malformed(&mut self) {
+        self.frames_seen += 1;
+        self.malformed += 1;
+    }
+
+    /// Folds a whole pre-classified tally into the counters — the batched
+    /// path. One call replaces `counts.total()` individual observations;
+    /// equivalent to calling [`Sniffer::observe_kind`] /
+    /// [`Sniffer::observe_malformed`] once per tallied frame.
+    pub fn observe_counts(&mut self, counts: &ClassCounts) {
+        self.syn += counts.syn();
+        self.synack += counts.synack();
+        self.frames_seen += counts.total();
+        self.malformed += counts.malformed();
+    }
+
+    /// Classifies a whole [`FrameBatch`] and folds it into the counters —
+    /// equivalent to calling [`Sniffer::observe_frame`] on every frame.
+    pub fn observe_batch(&mut self, batch: &FrameBatch) {
+        self.observe_counts(&classify_batch(batch));
     }
 
     /// Current SYN count since the last [`Sniffer::take_counts`].
@@ -196,6 +221,35 @@ mod tests {
         }
         assert_eq!(std::mem::size_of_val(&sniffer), before);
         assert_eq!(sniffer.syn_count(), 10_000);
+    }
+
+    #[test]
+    fn observe_batch_matches_per_frame_observation() {
+        let frames = [
+            frame(TcpFlags::SYN),
+            frame(TcpFlags::SYN | TcpFlags::ACK),
+            frame(TcpFlags::ACK),
+            vec![0u8; 3], // malformed
+        ];
+        let mut per_frame = Sniffer::new(Direction::Outbound);
+        for f in &frames {
+            per_frame.observe_frame(f);
+        }
+        let mut batched = Sniffer::new(Direction::Outbound);
+        let batch: syndog_net::FrameBatch = frames.iter().collect();
+        batched.observe_batch(&batch);
+        assert_eq!(per_frame, batched);
+        assert_eq!(batched.frames_seen(), 4);
+        assert_eq!(batched.malformed(), 1);
+    }
+
+    #[test]
+    fn observe_malformed_matches_frame_error_path() {
+        let mut by_frame = Sniffer::new(Direction::Inbound);
+        by_frame.observe_frame(&[0u8; 2]);
+        let mut direct = Sniffer::new(Direction::Inbound);
+        direct.observe_malformed();
+        assert_eq!(by_frame, direct);
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! The unified ingestion boundary: every way frames reach a router —
+//! pre-classified trace records, raw timestamped frames, pcap captures —
+//! is a [`FrameSource`] producing [`EventBatch`]es, and every consumer
+//! ([`LeafRouter::ingest`](crate::router::LeafRouter::ingest), and through
+//! it [`SynDogAgent`](crate::agent::SynDogAgent) and the concurrent
+//! deployment) closes observation periods through the same code path.
+//!
+//! The paper's sniffer (§2) is a classifier plus two counters; nothing in
+//! it cares *where* frames come from. Before this module the repository had
+//! three divergent ingestion paths duplicating classification and
+//! period-close logic; now a source's only job is to produce classified,
+//! direction-tagged, time-ordered events in batches, and the router's only
+//! job is to tally them and slice time.
+
+use std::io::Read;
+
+use syndog_net::batch::FrameBatch;
+use syndog_net::classify::{classify, SegmentKind};
+use syndog_net::{Ipv4Net, NetError};
+use syndog_sim::{SimDuration, SimTime};
+use syndog_traffic::trace::{Direction, Trace, TraceRecord};
+
+/// Default number of events per batch; large enough to amortize per-batch
+/// overhead, small enough to stay cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// One classified, direction-tagged, timestamped frame observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEvent {
+    /// When the frame crossed the router.
+    pub time: SimTime,
+    /// Which interface it crossed.
+    pub direction: Direction,
+    /// Its classification, or `None` for a frame the §2 classifier
+    /// rejected (truncated / invalid) — still observed, tallied as
+    /// malformed.
+    pub kind: Option<SegmentKind>,
+}
+
+/// A reusable buffer of [`FrameEvent`]s — the unit a [`FrameSource`]
+/// produces per call. Recycling one `EventBatch` across calls means the
+/// steady-state ingest loop performs no allocation per batch.
+#[derive(Debug, Clone, Default)]
+pub struct EventBatch {
+    events: Vec<FrameEvent>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        EventBatch::default()
+    }
+
+    /// An empty batch with space reserved for `events` events.
+    pub fn with_capacity(events: usize) -> Self {
+        EventBatch {
+            events: Vec::with_capacity(events),
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: FrameEvent) {
+        self.events.push(event);
+    }
+
+    /// Removes all events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events as a slice.
+    pub fn events(&self) -> &[FrameEvent] {
+        &self.events
+    }
+}
+
+/// A producer of classified frame events, in nondecreasing time order.
+///
+/// Implementations exist for the three offline ingestion modes — trace
+/// records ([`TraceSource`]), raw timestamped frames ([`RawFrameSource`]),
+/// pcap captures ([`PcapSource`]) — and the live concurrent deployment
+/// bridges its channels onto the same event/period machinery (see
+/// [`crate::concurrent`]).
+pub trait FrameSource {
+    /// Clears `out`, then fills it with the source's next batch of events.
+    ///
+    /// Returns `Ok(false)` once the source is exhausted (`out` left
+    /// empty); until then every call produces at least one event.
+    ///
+    /// # Errors
+    ///
+    /// Sources backed by I/O (pcap) report stream failures; in-memory
+    /// sources never error. A *malformed frame* is not an error — it
+    /// becomes an event with `kind: None`.
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError>;
+
+    /// The time span this source nominally covers, when known in advance.
+    ///
+    /// A known duration lets [`LeafRouter::ingest`] emit trailing empty
+    /// periods (silence is data) and ignore stray events past the end,
+    /// exactly as trace aggregation does.
+    ///
+    /// [`LeafRouter::ingest`]: crate::router::LeafRouter::ingest
+    fn duration(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+impl<S: FrameSource + ?Sized> FrameSource for &mut S {
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError> {
+        (**self).next_batch(out)
+    }
+    fn duration(&self) -> Option<SimDuration> {
+        (**self).duration()
+    }
+}
+
+/// [`FrameSource`] over a [`Trace`]'s pre-classified records.
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    records: &'a [TraceRecord],
+    duration: SimDuration,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// A source over `trace` with the default batch size.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource::with_batch_size(trace, DEFAULT_BATCH_SIZE)
+    }
+
+    /// A source over `trace` emitting `batch_size` events per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(trace: &'a Trace, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        TraceSource {
+            records: trace.records(),
+            duration: trace.duration(),
+            cursor: 0,
+            batch_size,
+        }
+    }
+}
+
+impl FrameSource for TraceSource<'_> {
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError> {
+        out.clear();
+        let end = (self.cursor + self.batch_size).min(self.records.len());
+        for record in &self.records[self.cursor..end] {
+            out.push(FrameEvent {
+                time: record.time,
+                direction: record.direction,
+                kind: Some(record.kind),
+            });
+        }
+        self.cursor = end;
+        Ok(!out.is_empty())
+    }
+
+    fn duration(&self) -> Option<SimDuration> {
+        Some(self.duration)
+    }
+}
+
+/// [`FrameSource`] over raw timestamped frames held in a [`FrameBatch`]
+/// arena — the frame bytes live back-to-back in one buffer, classified
+/// lazily as batches are drawn.
+#[derive(Debug, Clone, Default)]
+pub struct RawFrameSource {
+    frames: FrameBatch,
+    times: Vec<SimTime>,
+    directions: Vec<Direction>,
+    cursor: usize,
+    batch_size: usize,
+    duration: Option<SimDuration>,
+}
+
+impl RawFrameSource {
+    /// An empty source with the default batch size.
+    pub fn new() -> Self {
+        RawFrameSource::with_batch_size(DEFAULT_BATCH_SIZE)
+    }
+
+    /// An empty source emitting `batch_size` events per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        RawFrameSource {
+            batch_size,
+            ..RawFrameSource::default()
+        }
+    }
+
+    /// Appends one raw frame. Frames must be pushed in time order.
+    pub fn push(&mut self, time: SimTime, direction: Direction, frame: &[u8]) {
+        self.frames.push(frame);
+        self.times.push(time);
+        self.directions.push(direction);
+    }
+
+    /// Declares the nominal span of the frame stream (see
+    /// [`FrameSource::duration`]).
+    pub fn set_duration(&mut self, duration: SimDuration) {
+        self.duration = Some(duration);
+    }
+
+    /// Number of frames queued.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether any frames are queued.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+impl FrameSource for RawFrameSource {
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError> {
+        out.clear();
+        let end = (self.cursor + self.batch_size).min(self.times.len());
+        for i in self.cursor..end {
+            let frame = self.frames.get(i).expect("frames and times stay parallel");
+            out.push(FrameEvent {
+                time: self.times[i],
+                direction: self.directions[i],
+                kind: classify(frame).ok(),
+            });
+        }
+        self.cursor = end;
+        Ok(!out.is_empty())
+    }
+
+    fn duration(&self) -> Option<SimDuration> {
+        self.duration
+    }
+}
+
+/// [`FrameSource`] over a pcap capture stream.
+///
+/// Record bodies are read straight into a recycled [`FrameBatch`] arena
+/// (no per-packet allocation), classified with the §2 algorithm, and
+/// direction-tagged by the *destination* address against the stub prefix —
+/// the same inference [`Trace::read_pcap`] uses, and for the same reason:
+/// flood SYNs carry forged source addresses, so the destination is the one
+/// trustworthy field.
+#[derive(Debug)]
+pub struct PcapSource<R> {
+    reader: syndog_net::pcap::PcapReader<R>,
+    stub: Ipv4Net,
+    arena: FrameBatch,
+    times: Vec<SimTime>,
+    batch_size: usize,
+    duration: Option<SimDuration>,
+    done: bool,
+}
+
+impl<R: Read> PcapSource<R> {
+    /// Opens a capture stream, reading and validating the pcap header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header-validation and I/O errors.
+    pub fn new(reader: R, stub: Ipv4Net) -> Result<Self, NetError> {
+        PcapSource::with_batch_size(reader, stub, DEFAULT_BATCH_SIZE)
+    }
+
+    /// Opens a capture stream emitting `batch_size` events per batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header-validation and I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn with_batch_size(reader: R, stub: Ipv4Net, batch_size: usize) -> Result<Self, NetError> {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        Ok(PcapSource {
+            reader: syndog_net::pcap::PcapReader::new(reader)?,
+            stub,
+            arena: FrameBatch::new(),
+            times: Vec::new(),
+            batch_size,
+            duration: None,
+            done: false,
+        })
+    }
+
+    /// Declares the capture's true span (pcap files carry no duration
+    /// metadata; see [`Trace::set_duration`] for the same caveat).
+    pub fn set_duration(&mut self, duration: SimDuration) {
+        self.duration = Some(duration);
+    }
+
+    /// Classifies and direction-tags one frame from the arena.
+    fn event_for(&self, index: usize) -> FrameEvent {
+        let frame = self
+            .arena
+            .get(index)
+            .expect("arena and times stay parallel");
+        let kind = classify(frame).ok();
+        // Destination IPv4 address sits at a fixed offset once the frame is
+        // known to be a well-formed IPv4 packet (classify validated the
+        // version and minimum length). Non-IPv4 frames have no routable
+        // destination; their classification (NonTcp / malformed) never
+        // touches the period counts, so the direction tag is moot.
+        let direction = match kind {
+            Some(_) if frame.len() >= 14 + 20 && frame[12] == 0x08 && frame[13] == 0x00 => {
+                let dst = std::net::Ipv4Addr::new(frame[30], frame[31], frame[32], frame[33]);
+                if self.stub.contains(dst) {
+                    Direction::Inbound
+                } else {
+                    Direction::Outbound
+                }
+            }
+            _ => Direction::Outbound,
+        };
+        FrameEvent {
+            time: self.times[index],
+            direction,
+            kind,
+        }
+    }
+}
+
+impl<R: Read> FrameSource for PcapSource<R> {
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError> {
+        out.clear();
+        if self.done {
+            return Ok(false);
+        }
+        self.arena.clear();
+        self.times.clear();
+        while self.arena.len() < self.batch_size {
+            match self.reader.next_packet_into(&mut self.arena)? {
+                Some((ts_sec, ts_nanos)) => {
+                    self.times.push(SimTime::from_micros(
+                        u64::from(ts_sec) * 1_000_000 + u64::from(ts_nanos) / 1000,
+                    ));
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        for i in 0..self.arena.len() {
+            out.push(self.event_for(i));
+        }
+        Ok(!out.is_empty())
+    }
+
+    fn duration(&self) -> Option<SimDuration> {
+        self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndog_net::packet::PacketBuilder;
+
+    fn rec(secs: f64, direction: Direction, kind: SegmentKind) -> TraceRecord {
+        TraceRecord::new(
+            SimTime::from_secs_f64(secs),
+            direction,
+            kind,
+            "10.1.0.5:1025".parse().unwrap(),
+            "192.0.2.80:80".parse().unwrap(),
+        )
+    }
+
+    fn drain<S: FrameSource>(source: &mut S) -> Vec<FrameEvent> {
+        let mut out = EventBatch::new();
+        let mut all = Vec::new();
+        while source.next_batch(&mut out).unwrap() {
+            all.extend_from_slice(out.events());
+        }
+        // Exhaustion is stable: further calls keep returning false.
+        assert!(!source.next_batch(&mut out).unwrap());
+        assert!(out.is_empty());
+        all
+    }
+
+    #[test]
+    fn trace_source_emits_records_in_batches() {
+        let records: Vec<_> = (0..10)
+            .map(|i| rec(i as f64, Direction::Outbound, SegmentKind::Syn))
+            .collect();
+        let trace = Trace::from_records(records.clone(), SimDuration::from_secs(20));
+        let mut source = TraceSource::with_batch_size(&trace, 3);
+        assert_eq!(source.duration(), Some(SimDuration::from_secs(20)));
+        let mut out = EventBatch::new();
+        assert!(source.next_batch(&mut out).unwrap());
+        assert_eq!(out.len(), 3);
+        let events = drain(&mut source);
+        assert_eq!(events.len(), 7, "drain picks up after the first batch");
+        let mut source = TraceSource::new(&trace);
+        let events = drain(&mut source);
+        assert_eq!(events.len(), records.len());
+        for (event, record) in events.iter().zip(&records) {
+            assert_eq!(event.time, record.time);
+            assert_eq!(event.direction, record.direction);
+            assert_eq!(event.kind, Some(record.kind));
+        }
+    }
+
+    #[test]
+    fn raw_source_classifies_frames() {
+        let syn = PacketBuilder::tcp_syn(
+            "10.1.0.5:1025".parse().unwrap(),
+            "192.0.2.80:80".parse().unwrap(),
+        )
+        .build()
+        .unwrap();
+        let mut source = RawFrameSource::with_batch_size(2);
+        assert!(source.is_empty());
+        source.push(SimTime::from_secs(1), Direction::Outbound, &syn);
+        source.push(SimTime::from_secs(2), Direction::Inbound, &[0u8; 4]);
+        source.push(SimTime::from_secs(3), Direction::Outbound, &syn);
+        source.set_duration(SimDuration::from_secs(20));
+        assert_eq!(source.len(), 3);
+        assert_eq!(source.duration(), Some(SimDuration::from_secs(20)));
+        let events = drain(&mut source);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, Some(SegmentKind::Syn));
+        assert_eq!(events[1].kind, None, "truncated frame -> malformed event");
+        assert_eq!(events[1].direction, Direction::Inbound);
+        assert_eq!(events[2].time, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn pcap_source_matches_trace_read_pcap() {
+        let stub: Ipv4Net = "10.1.0.0/16".parse().unwrap();
+        let trace = Trace::from_records(
+            vec![
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+                TraceRecord::new(
+                    SimTime::from_secs(2),
+                    Direction::Inbound,
+                    SegmentKind::SynAck,
+                    "192.0.2.80:80".parse().unwrap(),
+                    "10.1.0.5:1025".parse().unwrap(),
+                ),
+                rec(3.0, Direction::Outbound, SegmentKind::NonTcp),
+            ],
+            SimDuration::from_secs(10),
+        );
+        let mut file = Vec::new();
+        trace.write_pcap(&mut file).unwrap();
+        let by_trace = Trace::read_pcap(file.as_slice(), stub).unwrap();
+        let mut source = PcapSource::with_batch_size(file.as_slice(), stub, 2).unwrap();
+        let events = drain(&mut source);
+        assert_eq!(events.len(), by_trace.len());
+        for (event, record) in events.iter().zip(by_trace.records()) {
+            assert_eq!(event.time, record.time);
+            assert_eq!(event.kind, Some(record.kind));
+            // NonTcp frames have no IPv4 destination; direction is moot.
+            if record.kind != SegmentKind::NonTcp {
+                assert_eq!(event.direction, record.direction);
+            }
+        }
+    }
+
+    #[test]
+    fn pcap_source_reports_stream_errors() {
+        let trace = Trace::from_records(
+            vec![rec(1.0, Direction::Outbound, SegmentKind::Syn)],
+            SimDuration::from_secs(10),
+        );
+        let mut file = Vec::new();
+        trace.write_pcap(&mut file).unwrap();
+        file.truncate(file.len() - 2);
+        let mut source = PcapSource::new(file.as_slice(), "10.1.0.0/16".parse().unwrap()).unwrap();
+        let mut out = EventBatch::new();
+        assert!(source.next_batch(&mut out).is_err());
+    }
+
+    #[test]
+    fn event_batch_recycles() {
+        let mut batch = EventBatch::with_capacity(8);
+        batch.push(FrameEvent {
+            time: SimTime::ZERO,
+            direction: Direction::Outbound,
+            kind: None,
+        });
+        assert_eq!(batch.len(), 1);
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(batch.events().is_empty());
+    }
+}

@@ -431,6 +431,76 @@ impl Trace {
         Ok(Trace { records, duration })
     }
 
+    /// Iterates the (time-sorted) records in batches of at most
+    /// `batch_size` — the record-level half of the batched ingestion
+    /// pipeline. The final chunk may be shorter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn iter_batches(&self, batch_size: usize) -> std::slice::Chunks<'_, TraceRecord> {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        self.records.chunks(batch_size)
+    }
+
+    /// Synthesizes one real Ethernet frame for a record (flags chosen to
+    /// match the record's classification) — shared by pcap export and the
+    /// frame-batch bridge.
+    fn synthesize_frame(r: &TraceRecord) -> Result<Vec<u8>, NetError> {
+        let flags = match r.kind {
+            SegmentKind::Syn => TcpFlags::SYN,
+            SegmentKind::SynAck => TcpFlags::SYN | TcpFlags::ACK,
+            SegmentKind::Rst => TcpFlags::RST,
+            SegmentKind::Fin => TcpFlags::FIN | TcpFlags::ACK,
+            SegmentKind::Ack => TcpFlags::ACK,
+            SegmentKind::OtherTcp => TcpFlags::PSH | TcpFlags::ACK,
+            SegmentKind::NonTcp => TcpFlags::EMPTY,
+        };
+        if r.kind == SegmentKind::NonTcp {
+            PacketBuilder::non_tcp(*r.src.ip(), *r.dst.ip(), syndog_net::ipv4::PROTO_UDP)
+                .src_mac(r.src_mac)
+                .build()
+        } else {
+            PacketBuilder::tcp(r.src, r.dst, flags)
+                .src_mac(r.src_mac)
+                .build()
+        }
+    }
+
+    /// Synthesizes the frames for a record slice into one contiguous
+    /// [`FrameBatch`](syndog_net::FrameBatch) arena — the bridge between
+    /// record-level batches
+    /// ([`Trace::iter_batches`]) and the raw-frame pipeline
+    /// (`classify_batch`, the concurrent sniffer channels), with no pcap
+    /// file detour and one allocation region per batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates packet-encoding errors.
+    pub fn frame_batch(records: &[TraceRecord]) -> Result<syndog_net::FrameBatch, TraceError> {
+        let mut batch = syndog_net::FrameBatch::with_capacity(records.len(), records.len() * 60);
+        for r in records {
+            batch.push(&Self::synthesize_frame(r)?);
+        }
+        Ok(batch)
+    }
+
+    /// Iterates the whole trace as synthesized [`FrameBatch`]es of at most
+    /// `batch_size` frames: `trace.iter_frame_batches(256)` feeds the
+    /// batched classifier / concurrent channels directly.
+    ///
+    /// [`FrameBatch`]: syndog_net::FrameBatch
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn iter_frame_batches(
+        &self,
+        batch_size: usize,
+    ) -> impl Iterator<Item = Result<syndog_net::FrameBatch, TraceError>> + '_ {
+        self.iter_batches(batch_size).map(Self::frame_batch)
+    }
+
     /// Exports the trace as a pcap capture by synthesizing one real
     /// Ethernet/IPv4/TCP packet per record (flags chosen to match the
     /// record's classification).
@@ -441,24 +511,7 @@ impl Trace {
     pub fn write_pcap<W: Write>(&self, writer: W) -> Result<(), TraceError> {
         let mut pcap = PcapWriter::new(writer)?;
         for r in &self.records {
-            let flags = match r.kind {
-                SegmentKind::Syn => TcpFlags::SYN,
-                SegmentKind::SynAck => TcpFlags::SYN | TcpFlags::ACK,
-                SegmentKind::Rst => TcpFlags::RST,
-                SegmentKind::Fin => TcpFlags::FIN | TcpFlags::ACK,
-                SegmentKind::Ack => TcpFlags::ACK,
-                SegmentKind::OtherTcp => TcpFlags::PSH | TcpFlags::ACK,
-                SegmentKind::NonTcp => TcpFlags::EMPTY,
-            };
-            let bytes = if r.kind == SegmentKind::NonTcp {
-                PacketBuilder::non_tcp(*r.src.ip(), *r.dst.ip(), syndog_net::ipv4::PROTO_UDP)
-                    .src_mac(r.src_mac)
-                    .build()?
-            } else {
-                PacketBuilder::tcp(r.src, r.dst, flags)
-                    .src_mac(r.src_mac)
-                    .build()?
-            };
+            let bytes = Self::synthesize_frame(r)?;
             let micros = r.time.as_micros();
             pcap.write_packet(&PcapPacket {
                 ts_sec: (micros / 1_000_000) as u32,
@@ -620,6 +673,31 @@ mod tests {
         let counts = t.period_counts(SimDuration::from_secs(20));
         assert_eq!(counts.len(), 2);
         assert!(counts.iter().all(|c| c.syn == 0));
+    }
+
+    #[test]
+    fn iter_batches_chunks_in_order() {
+        let t = sample_trace();
+        let batches: Vec<&[TraceRecord]> = t.iter_batches(2).collect();
+        assert_eq!(batches.len(), t.len().div_ceil(2));
+        let rejoined: Vec<TraceRecord> = batches.concat();
+        assert_eq!(rejoined, t.records());
+        // One oversized batch covers everything.
+        assert_eq!(t.iter_batches(1000).count(), 1);
+    }
+
+    #[test]
+    fn frame_batches_classify_back_to_record_kinds() {
+        let t = sample_trace();
+        let mut kinds = Vec::new();
+        for batch in t.iter_frame_batches(2) {
+            let batch = batch.unwrap();
+            for frame in &batch {
+                kinds.push(classify(frame).unwrap());
+            }
+        }
+        let expected: Vec<SegmentKind> = t.records().iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, expected);
     }
 
     #[test]

@@ -1,19 +1,23 @@
 //! The paper's Figure 2 deployment, live: two sniffer threads (one per
-//! router interface) coordinating through shared memory, a period clock
-//! closing observation windows, and the detector running on the exchanged
-//! counts.
+//! router interface) coordinating through lock-free shared counters, a
+//! period clock closing observation windows, and the detector running on
+//! the exchanged counts.
 //!
 //! ```text
 //! cargo run --release -p syndog-cli --example concurrent_router
 //! ```
 //!
 //! Raw Ethernet frames are synthesized for two phases — balanced
-//! handshake traffic, then a SYN flood — and pushed to the interface
-//! threads, which classify each frame with the §2 algorithm and bump the
-//! shared counters.
+//! handshake traffic, then a SYN flood — batched into [`FrameBatch`]
+//! arenas and pushed to the interface threads, which classify each batch
+//! with the §2 algorithm and fold the tallies into shared atomics. The
+//! `flush()` barrier stands in for the 20 s period timer: it guarantees
+//! every submitted batch is counted before the period closes, with no
+//! sleeps.
 
 use syndog::SynDogConfig;
 use syndog_net::packet::PacketBuilder;
+use syndog_net::FrameBatch;
 use syndog_router::concurrent::ConcurrentSynDog;
 use syndog_traffic::Direction;
 
@@ -41,17 +45,25 @@ fn synack_frame(i: u32) -> Vec<u8> {
     .expect("static packet")
 }
 
+fn batch_of(frames: impl IntoIterator<Item = Vec<u8>>) -> FrameBatch {
+    frames.into_iter().collect()
+}
+
 fn main() {
-    let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 1024);
+    let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 64);
     println!("two sniffer threads up; feeding 10 balanced periods...");
     for period in 0..10u32 {
-        for i in 0..400 {
-            dog.submit(Direction::Outbound, syn_frame(period * 400 + i));
-            dog.submit(Direction::Inbound, synack_frame(period * 400 + i));
-        }
-        // In a router the 20 s timer closes the period; here we close it
-        // once the queues drain.
-        std::thread::sleep(std::time::Duration::from_millis(30));
+        dog.submit_batch(
+            Direction::Outbound,
+            batch_of((0..400).map(|i| syn_frame(period * 400 + i))),
+        );
+        dog.submit_batch(
+            Direction::Inbound,
+            batch_of((0..400).map(|i| synack_frame(period * 400 + i))),
+        );
+        // In a router the 20 s timer closes the period; here the flush
+        // barrier guarantees the queues have drained first.
+        dog.flush();
         let d = dog.close_period();
         assert!(!d.alarm, "balanced traffic must not alarm");
     }
@@ -59,14 +71,19 @@ fn main() {
 
     println!("injecting a flood: 1,200 unanswered SYNs per period...");
     for period in 0..5u32 {
-        for i in 0..400 {
-            dog.submit(Direction::Outbound, syn_frame(100_000 + period * 400 + i));
-            dog.submit(Direction::Inbound, synack_frame(200_000 + period * 400 + i));
-        }
-        for i in 0..1200 {
-            dog.submit(Direction::Outbound, syn_frame(500_000 + period * 1200 + i));
-        }
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        dog.submit_batch(
+            Direction::Outbound,
+            batch_of((0..400).map(|i| syn_frame(100_000 + period * 400 + i))),
+        );
+        dog.submit_batch(
+            Direction::Inbound,
+            batch_of((0..400).map(|i| synack_frame(200_000 + period * 400 + i))),
+        );
+        dog.submit_batch(
+            Direction::Outbound,
+            batch_of((0..1200).map(|i| syn_frame(500_000 + period * 1200 + i))),
+        );
+        dog.flush();
         let d = dog.close_period();
         println!(
             "  period {:>2}: X = {:.3}, y = {:.3}{}",

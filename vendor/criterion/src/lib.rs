@@ -1,0 +1,305 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Timing model: each benchmark is warmed up briefly, then run for a fixed
+//! number of timed samples; the reported figure is the median sample with a
+//! min..max spread, plus derived throughput when declared. This is cruder
+//! than upstream criterion's bootstrap analysis but stable enough to compare
+//! two code paths in the same process run.
+//!
+//! The harness honours the standard cargo-bench CLI contract this repo's CI
+//! relies on: `--test` runs every benchmark exactly once (smoke mode, no
+//! timing), a trailing free-form argument filters benchmarks by substring,
+//! and unknown flags are ignored rather than rejected.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declared workload size, used to derive throughput from sample times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How the harness was asked to run.
+#[derive(Debug, Clone)]
+struct RunMode {
+    /// `--test`: run each benchmark body once and report only pass/fail.
+    smoke: bool,
+    /// Substring filter on benchmark names (the positional CLI argument).
+    filter: Option<String>,
+}
+
+impl RunMode {
+    fn from_args() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                // Flags cargo/criterion pass through that we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                other if other.starts_with("--") => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        RunMode { smoke, filter }
+    }
+
+    fn selects(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// Per-iteration timing collector handed to benchmark bodies.
+pub struct Bencher {
+    smoke: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until ~50ms has elapsed to settle caches/branch state,
+        // and learn how many iterations fit in one sample.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < warmup_budget {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        // Aim for ~5ms per sample so short routines are batched.
+        let per_iter = warmup_start.elapsed().as_nanos() / u128::from(warmup_iters.max(1));
+        let iters_per_sample = (5_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters_per_sample as u32);
+        }
+    }
+}
+
+/// The top-level harness, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    mode: RunMode,
+    default_sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: RunMode::from_args(),
+            default_sample_count: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
+        let sample_count = self.default_sample_count;
+        run_one(&self.mode, name, None, sample_count, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_count: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs the post-benchmark summary hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, count: usize) -> &mut Self {
+        self.sample_count = Some(count.max(2));
+        self
+    }
+
+    /// Declares per-iteration workload size so throughput is reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
+        let full_name = format!("{}/{}", self.name, name);
+        let sample_count = self
+            .sample_count
+            .unwrap_or(self.criterion.default_sample_count);
+        run_one(
+            &self.criterion.mode,
+            &full_name,
+            self.throughput,
+            sample_count,
+            routine,
+        );
+        self
+    }
+
+    /// Finishes the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(
+    mode: &RunMode,
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    mut routine: R,
+) {
+    if !mode.selects(name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        smoke: mode.smoke,
+        samples: Vec::with_capacity(sample_count),
+    };
+    routine(&mut bencher);
+    if mode.smoke {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{name}: no samples collected");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let low = bencher.samples[0];
+    let high = *bencher.samples.last().expect("non-empty");
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_per_s = bytes as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            println!(
+                "{name}: time [{} .. {} .. {}]  thrpt {:.3} GiB/s",
+                fmt_duration(low),
+                fmt_duration(median),
+                fmt_duration(high),
+                gib_per_s,
+            );
+        }
+        Some(Throughput::Elements(elements)) => {
+            let elem_per_s = elements as f64 / median.as_secs_f64();
+            println!(
+                "{name}: time [{} .. {} .. {}]  thrpt {:.3} Melem/s",
+                fmt_duration(low),
+                fmt_duration(median),
+                fmt_duration(high),
+                elem_per_s / 1e6,
+            );
+        }
+        None => {
+            println!(
+                "{name}: time [{} .. {} .. {}]",
+                fmt_duration(low),
+                fmt_duration(median),
+                fmt_duration(high),
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mode = RunMode {
+            smoke: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        run_one(&mode, "smoke", None, 10, |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched_benchmarks() {
+        let mode = RunMode {
+            smoke: true,
+            filter: Some("wanted".to_string()),
+        };
+        let mut ran = false;
+        run_one(&mode, "other", None, 10, |_| ran = true);
+        assert!(!ran);
+        run_one(&mode, "group/wanted_bench", None, 10, |_| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250.000 ms");
+    }
+}

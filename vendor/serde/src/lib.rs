@@ -1,0 +1,508 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde's visitor-based data model is replaced by a small
+//! self-describing [`Value`] tree: [`Serialize`] renders into it,
+//! [`Deserialize`] reads back out of it, and `serde_json` (the only data
+//! format in the workspace) converts the tree to and from JSON text. The
+//! derive macros ship from the sibling `serde_derive` shim and target the
+//! same trait shapes, so `#[derive(Serialize, Deserialize)]` and the
+//! `serde::Serialize`/`serde::de::DeserializeOwned` bounds used by the
+//! tests work unchanged.
+
+// Let derive-generated `serde::...` paths resolve inside this crate's own
+// tests as well as in downstream crates.
+extern crate self as serde;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (only produced for negative numbers).
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(text) => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The sequence payload, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map payload, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Views a single-entry map as an externally tagged enum payload.
+    pub fn as_tagged(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, accepting non-negative signed integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            _ => None,
+        }
+    }
+}
+
+/// (De)serialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message (mirrors `de::Error::custom`).
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Field lookup over a map [`Value`], used by derived `Deserialize` impls.
+pub struct MapAccess<'a> {
+    entries: &'a [(String, Value)],
+    type_name: &'static str,
+}
+
+impl<'a> MapAccess<'a> {
+    /// Wraps a map value, failing with the type's name if it is not a map.
+    pub fn new(value: &'a Value, type_name: &'static str) -> Result<Self, Error> {
+        match value.as_map() {
+            Some(entries) => Ok(MapAccess { entries, type_name }),
+            None => Err(Error::custom(format!("expected map for {type_name}"))),
+        }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Result<&'a Value, Error> {
+        self.entries
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` for {}", self.type_name)))
+    }
+}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts to the intermediate representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts from the intermediate representation.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization traits, mirroring `serde::de`.
+
+    pub use crate::Error;
+
+    /// Marker mirroring `serde::de::DeserializeOwned`; in this shim every
+    /// [`crate::Deserialize`] already produces owned data.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization traits, mirroring `serde::ser`.
+
+    pub use crate::{Error, Serialize};
+}
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|x| x as $ty)
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(flag) => Ok(*flag),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let text = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = text.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let seq = value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if seq.len() != N {
+            return Err(Error::custom("array length mismatch"));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(seq) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| Error::custom("expected tuple"))?;
+                Ok(($(
+                    $name::from_value(
+                        seq.get($idx).ok_or_else(|| Error::custom("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: fmt::Display + Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(key, value)| (key.to_string(), value.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(key, item)| Ok((key.clone(), V::from_value(item)?)))
+            .collect()
+    }
+}
+
+impl<K: fmt::Display + Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(key, value)| (key.to_string(), value.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected IPv4 address string"))?
+            .parse()
+            .map_err(|_| Error::custom("invalid IPv4 address"))
+    }
+}
+
+impl Serialize for std::net::SocketAddrV4 {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::SocketAddrV4 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected socket address string"))?
+            .parse()
+            .map_err(|_| Error::custom("invalid socket address"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Plain {
+        alpha: u64,
+        beta: f64,
+        gamma: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        First,
+        Second,
+    }
+
+    #[test]
+    fn named_struct_roundtrip() {
+        let input = Plain {
+            alpha: 7,
+            beta: 1.5,
+            gamma: Some("hi".to_string()),
+        };
+        let value = input.to_value();
+        assert_eq!(Plain::from_value(&value).unwrap(), input);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(Newtype(9).to_value(), Value::U64(9));
+        assert_eq!(Newtype::from_value(&Value::U64(9)).unwrap(), Newtype(9));
+    }
+
+    #[test]
+    fn unit_enum_as_string() {
+        assert_eq!(Kind::First.to_value(), Value::Str("First".to_string()));
+        assert_eq!(
+            Kind::from_value(&Value::Str("Second".to_string())).unwrap(),
+            Kind::Second
+        );
+        assert!(Kind::from_value(&Value::Str("Third".to_string())).is_err());
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let value = Value::Map(vec![("alpha".to_string(), Value::U64(1))]);
+        let err = Plain::from_value(&value).unwrap_err();
+        assert!(err.to_string().contains("beta"));
+    }
+}

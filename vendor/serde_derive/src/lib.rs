@@ -1,0 +1,382 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the workspace serde shim.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly the shapes this workspace
+//! derives: non-generic structs with named fields, tuple/newtype structs,
+//! and enums whose variants are unit, newtype or struct-like. Serde field
+//! attributes (`#[serde(...)]`) are not supported and produce a compile
+//! error rather than silently wrong codegen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named (`{a: T}`) or positional (`(T, U)`).
+enum Fields {
+    Named(Vec<String>),
+    Unnamed(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive input.
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips leading attributes, panicking on `#[serde(...)]` which the shim
+/// does not implement.
+fn skip_attributes(trees: &[TokenTree], mut index: usize) -> usize {
+    while index < trees.len() && is_punct(&trees[index], '#') {
+        if let Some(TokenTree::Group(group)) = trees.get(index + 1) {
+            let mut inner = group.stream().into_iter();
+            if let Some(TokenTree::Ident(ident)) = inner.next() {
+                assert!(
+                    ident.to_string() != "serde",
+                    "serde shim derive: #[serde(...)] attributes are unsupported"
+                );
+            }
+        }
+        index += 2; // '#' + bracket group
+    }
+    index
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(trees: &[TokenTree], mut index: usize) -> usize {
+    if matches!(&trees.get(index), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        index += 1;
+        if matches!(trees.get(index), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            index += 1;
+        }
+    }
+    index
+}
+
+/// Splits a field-list token sequence on top-level commas, tracking angle
+/// bracket depth so `Vec<(A, B)>` and `HashMap<K, V>` stay intact.
+fn split_top_level_commas(trees: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tree in trees {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                pieces.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tree);
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+/// Parses `{ a: T, pub b: U, ... }` into field names.
+fn parse_named_fields(group_stream: TokenStream) -> Vec<String> {
+    let trees: Vec<TokenTree> = group_stream.into_iter().collect();
+    split_top_level_commas(trees)
+        .into_iter()
+        .filter(|piece| !piece.is_empty())
+        .map(|piece| {
+            let mut index = skip_attributes(&piece, 0);
+            index = skip_visibility(&piece, index);
+            match &piece[index] {
+                TokenTree::Ident(ident) => ident.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+/// Parses `(T, U, ...)` into a field count.
+fn parse_unnamed_fields(group_stream: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = group_stream.into_iter().collect();
+    split_top_level_commas(trees)
+        .into_iter()
+        .filter(|piece| !piece.is_empty())
+        .count()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = skip_attributes(&trees, 0);
+    index = skip_visibility(&trees, index);
+    let keyword = match &trees[index] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    index += 1;
+    let name = match &trees[index] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    index += 1;
+    assert!(
+        !matches!(&trees.get(index), Some(t) if is_punct(t, '<')),
+        "serde shim derive: generic types are unsupported"
+    );
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match trees.get(index) {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(group.stream()))
+                }
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(parse_unnamed_fields(group.stream()))
+                }
+                Some(t) if is_punct(t, ';') => Fields::Unit,
+                other => panic!("serde shim derive: unexpected struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match &trees[index] {
+                TokenTree::Group(group) if group.delimiter() == Delimiter::Brace => group.stream(),
+                other => panic!("serde shim derive: expected enum body, got {other}"),
+            };
+            let pieces = split_top_level_commas(body.into_iter().collect());
+            let variants = pieces
+                .into_iter()
+                .filter(|piece| !piece.is_empty())
+                .map(|piece| {
+                    let at = skip_attributes(&piece, 0);
+                    let name = match &piece[at] {
+                        TokenTree::Ident(ident) => ident.to_string(),
+                        other => panic!("serde shim derive: expected variant name, got {other}"),
+                    };
+                    let fields = match piece.get(at + 1) {
+                        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                            Fields::Named(parse_named_fields(group.stream()))
+                        }
+                        Some(TokenTree::Group(group))
+                            if group.delimiter() == Delimiter::Parenthesis =>
+                        {
+                            Fields::Unnamed(parse_unnamed_fields(group.stream()))
+                        }
+                        None => Fields::Unit,
+                        Some(t) if is_punct(t, '=') => {
+                            panic!("serde shim derive: explicit discriminants are unsupported")
+                        }
+                        other => panic!("serde shim derive: unexpected variant body: {other:?}"),
+                    };
+                    Variant { name, fields }
+                })
+                .collect();
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                // Newtype structs serialize transparently, like real serde.
+                Fields::Unnamed(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("serde::Value::Map(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => format!(
+                            "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"
+                        ),
+                        Fields::Unnamed(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{v}({binds}) => serde::Value::Map(vec![(\"{v}\".to_string(), {payload})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Fields::Named(names) => {
+                            let binds = names.join(", ");
+                            let items: Vec<String> = names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {binds} }} => serde::Value::Map(vec![(\"{v}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Unnamed(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+                }
+                Fields::Unnamed(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| {
+                            format!(
+                                "serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| serde::Error::custom(\"missing tuple element {i} for {name}\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let seq = value.as_seq().ok_or_else(|| serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let items: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: serde::Deserialize::from_value(map.field(\"{f}\")?)?,")
+                        })
+                        .collect();
+                    format!(
+                        "let map = serde::MapAccess::new(value, \"{name}\")?;\n\
+                         Ok({name} {{ {} }})",
+                        items.join(" ")
+                    )
+                }
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|variant| {
+                    let v = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => None,
+                        Fields::Unnamed(1) => Some(format!(
+                            "\"{v}\" => return Ok({name}::{v}(serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Unnamed(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!(
+                                    "serde::Deserialize::from_value(seq.get({i}).ok_or_else(|| serde::Error::custom(\"missing tuple element\"))?)?"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{ let seq = payload.as_seq().ok_or_else(|| serde::Error::custom(\"expected sequence payload\"))?; return Ok({name}::{v}({})); }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: serde::Deserialize::from_value(map.field(\"{f}\")?)?,"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{ let map = serde::MapAccess::new(payload, \"{name}::{v}\")?; return Ok({name}::{v} {{ {} }}); }}",
+                                items.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         if let Some(text) = value.as_str() {{\n\
+                             match text {{ {unit} _ => {{}} }}\n\
+                         }}\n\
+                         if let Some((tag, payload)) = value.as_tagged() {{\n\
+                             let _ = payload;\n\
+                             match tag {{ {data} _ => {{}} }}\n\
+                         }}\n\
+                         Err(serde::Error::custom(\"no matching variant of {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" "),
+            )
+        }
+    };
+    body.parse()
+        .expect("serde shim derive: generated code must parse")
+}
