@@ -1,0 +1,106 @@
+//! Cost of the telemetry record path, and proof that it stays off the
+//! ingest budget. The discipline under test: all registration (mutex,
+//! label sorting) happens at construction, so recording through a
+//! pre-fetched handle is a relaxed atomic op — compare `*_handle` against
+//! `*_lookup`, which pays the registry lookup every call the way naive
+//! instrumentation would. The last group prices a whole snapshot+render,
+//! which only runs at scrape/exit granularity.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use syndog_telemetry::{export, FieldValue, Telemetry};
+
+const OPS: u64 = 1024;
+
+fn bench_record_path(c: &mut Criterion) {
+    let telemetry = Telemetry::new();
+    let registry = telemetry.registry();
+    let counter = registry.counter("syndog_syn_total");
+    let labelled = registry.counter_with(
+        "syndog_segments_total",
+        &[("interface", "outbound"), ("kind", "syn")],
+    );
+    let gauge = registry.gauge("syndog_channel_depth");
+    let histogram = registry.histogram("syndog_period_close_micros");
+    let mut group = c.benchmark_group("telemetry_record");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("counter_add_handle", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                counter.add(black_box(i & 1));
+            }
+        })
+    });
+    group.bench_function("counter_add_lookup", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                registry.counter("syndog_syn_total").add(black_box(i & 1));
+            }
+        })
+    });
+    group.bench_function("labelled_counter_add_handle", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                labelled.add(black_box(i & 1));
+            }
+        })
+    });
+    group.bench_function("gauge_set_handle", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                gauge.set(black_box(i as f64));
+            }
+        })
+    });
+    group.bench_function("histogram_record_handle", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                histogram.record(black_box(i));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_events_and_export(c: &mut Criterion) {
+    let telemetry = Arc::new(Telemetry::new());
+    let registry = telemetry.registry();
+    for kind in ["syn", "synack", "ack", "rst"] {
+        registry
+            .counter_with("syndog_segments_total", &[("kind", kind)])
+            .add(7);
+    }
+    registry.gauge("syndog_cusum_statistic").set(0.4);
+    let histogram = registry.histogram("syndog_period_close_micros");
+    for i in 0..256u64 {
+        histogram.record(i * 3);
+        telemetry.events().emit(
+            i as f64 * 20.0,
+            "period_closed",
+            [("syn", FieldValue::U64(i)), ("y", FieldValue::F64(0.1))],
+        );
+    }
+    let mut group = c.benchmark_group("telemetry_export");
+    group.bench_function("event_emit", |b| {
+        b.iter(|| {
+            telemetry.events().emit(
+                black_box(40.0),
+                "period_closed",
+                [("syn", FieldValue::U64(14)), ("y", FieldValue::F64(0.2))],
+            )
+        })
+    });
+    group.bench_function("snapshot", |b| b.iter(|| black_box(telemetry.snapshot())));
+    let snapshot = telemetry.snapshot();
+    group.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(export::render_prometheus(black_box(&snapshot))))
+    });
+    group.bench_function("render_jsonl", |b| {
+        b.iter(|| black_box(export::render_jsonl(black_box(&snapshot))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_path, bench_events_and_export);
+criterion_main!(benches);

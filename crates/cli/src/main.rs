@@ -3,10 +3,11 @@
 //! ```text
 //! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-//! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose]
-//! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose]
-//! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS]
+//! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
+//! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
+//! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
+//! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
 //!
@@ -15,9 +16,17 @@
 //! same agent pipeline the experiments use; `sniff` streams a capture
 //! through the batched `FrameSource` pipeline and `replay` drives the
 //! two-thread concurrent deployment over `FrameBatch` channels.
+//!
+//! `--metrics DEST` attaches a [`Telemetry`] hub to the run. A socket
+//! address (`127.0.0.1:9100`) serves live Prometheus scrapes for the life
+//! of the run; anything else is a file path that receives the final
+//! snapshot on exit, in the format implied by its extension (`.prom`,
+//! `.jsonl`, `.csv`) or forced by `--metrics-format`. `stats` reads a
+//! JSON Lines dump back and summarizes or re-renders it.
 
-use std::net::SocketAddrV4;
+use std::net::{Ipv4Addr, SocketAddrV4};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use syndog::{theory, SynDogConfig};
 use syndog_attack::SynFlood;
@@ -27,6 +36,7 @@ use syndog_router::{
     DEFAULT_BATCH_SIZE,
 };
 use syndog_sim::{SimDuration, SimRng, SimTime};
+use syndog_telemetry::{export, ExportFormat, ScrapeServer, Telemetry};
 use syndog_traffic::{Direction, SiteProfile, Trace, TraceRecord};
 
 fn main() -> ExitCode {
@@ -42,6 +52,7 @@ fn main() -> ExitCode {
         "sniff" => cmd_sniff(rest),
         "replay" => cmd_replay(rest),
         "locate" => cmd_locate(rest),
+        "stats" => cmd_stats(rest),
         "theory" => cmd_theory(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -61,16 +72,24 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-  syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose]
-  syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose]
-  syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS]
+  syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
+  syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
+  syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
+  syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
 FILE format: pcap when the name ends in .pcap, binary trace otherwise.
 sniff streams the capture through the batched FrameSource pipeline;
 replay drives the two-thread concurrent deployment with FrameBatch
-channels (--drop sheds batches on overflow instead of blocking).";
+channels (--drop sheds batches on overflow instead of blocking).
+
+--metrics DEST records detector telemetry: a socket address (host:port)
+serves live Prometheus scrapes during the run; any other DEST is a file
+that receives the final snapshot on exit. The format follows the file
+extension (.prom, .jsonl, .csv) unless --metrics-format overrides it.
+stats reads a .jsonl snapshot back and summarizes it (or re-renders it
+with --format).";
 
 /// Minimal `--flag value` / `--switch` argument map.
 struct Flags {
@@ -166,7 +185,63 @@ fn stub_flag(flags: &Flags) -> Result<Ipv4Net, String> {
 }
 
 fn victim() -> SocketAddrV4 {
-    "199.0.0.80:80".parse().expect("static address")
+    SocketAddrV4::new(Ipv4Addr::new(199, 0, 0, 80), 80)
+}
+
+/// Where `--metrics DEST` sends telemetry: a socket address serves live
+/// Prometheus scrapes for the life of the run, anything else is a file
+/// path written once on exit.
+enum MetricsSink {
+    Serve(ScrapeServer),
+    File { path: String, format: ExportFormat },
+}
+
+/// Resolves `--metrics` / `--metrics-format` into a sink (and, for
+/// address destinations, starts serving immediately). `None` when the
+/// run is untelemetered.
+fn metrics_sink(flags: &Flags, hub: &Arc<Telemetry>) -> Result<Option<MetricsSink>, String> {
+    let Some(dest) = flags.get("metrics") else {
+        if flags.get("metrics-format").is_some() {
+            return Err("--metrics-format requires --metrics".into());
+        }
+        return Ok(None);
+    };
+    let format = match flags.get("metrics-format") {
+        Some(name) => ExportFormat::parse(name)
+            .ok_or_else(|| format!("invalid --metrics-format: {name} (prom, jsonl, csv)"))?,
+        None => ExportFormat::from_path(dest).unwrap_or_default(),
+    };
+    if dest.parse::<std::net::SocketAddr>().is_ok() {
+        let server = ScrapeServer::bind(Arc::clone(hub), dest)
+            .map_err(|e| format!("bind metrics endpoint {dest}: {e}"))?;
+        println!("serving metrics at http://{}/metrics", server.addr());
+        Ok(Some(MetricsSink::Serve(server)))
+    } else {
+        Ok(Some(MetricsSink::File {
+            path: dest.to_string(),
+            format,
+        }))
+    }
+}
+
+impl MetricsSink {
+    /// Dumps the final snapshot. File sinks are written here; the scrape
+    /// server has been answering with live state all along, so the run's
+    /// end just reports where it was.
+    fn finish(self, hub: &Telemetry) -> Result<(), String> {
+        match self {
+            MetricsSink::Serve(server) => {
+                println!("metrics served at http://{}/metrics", server.addr());
+                Ok(())
+            }
+            MetricsSink::File { path, format } => {
+                std::fs::write(&path, format.render(&hub.snapshot()))
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                println!("wrote metrics snapshot to {path}");
+                Ok(())
+            }
+        }
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -202,7 +277,7 @@ fn cmd_inject(args: &[String]) -> Result<(), String> {
         None if input.ends_with(".pcap") => {
             return Err("pcap input requires --stub to infer directions".into())
         }
-        None => "0.0.0.0/32".parse().expect("static prefix"),
+        None => Ipv4Net::new(Ipv4Addr::UNSPECIFIED, 32),
     };
     let mut trace = read_trace(input, stub)?;
     let mut rng = SimRng::seed_from_u64(seed);
@@ -240,10 +315,18 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let stub = stub_flag(&flags)?;
     let trace = read_trace(flags.require("in")?, stub)?;
     let config = detect_config(&flags)?;
+    let hub = Arc::new(Telemetry::new());
+    let sink = metrics_sink(&flags, &hub)?;
     let mut agent = SynDogAgent::new(stub, config);
+    if sink.is_some() {
+        agent.set_telemetry(Arc::clone(&hub));
+    }
     agent.run_trace(&trace);
     print_detection_report(&agent, &config, flags.has("verbose"));
-    Ok(())
+    match sink {
+        Some(sink) => sink.finish(&hub),
+        None => Ok(()),
+    }
 }
 
 /// Parses `--batch-size` with the pipeline default and a positivity check.
@@ -267,7 +350,12 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
     let input = flags.require("in")?;
     let batch_size = batch_size_flag(&flags)?;
     let config = detect_config(&flags)?;
+    let hub = Arc::new(Telemetry::new());
+    let sink = metrics_sink(&flags, &hub)?;
     let mut agent = SynDogAgent::new(stub, config);
+    if sink.is_some() {
+        agent.set_telemetry(Arc::clone(&hub));
+    }
     if input.ends_with(".pcap") {
         let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
         let source = PcapSource::with_batch_size(std::io::BufReader::new(file), stub, batch_size)
@@ -290,7 +378,10 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
             + router.sniffer(Direction::Inbound).malformed(),
     );
     print_detection_report(&agent, &config, flags.has("verbose"));
-    Ok(())
+    match sink {
+        Some(sink) => sink.finish(&hub),
+        None => Ok(()),
+    }
 }
 
 /// Replays a trace through the two-thread concurrent deployment:
@@ -300,6 +391,8 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
 /// [`FrameBatch`]: syndog_net::FrameBatch
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["tuned", "drop"])?;
+    let hub = Arc::new(Telemetry::new());
+    let sink = metrics_sink(&flags, &hub)?;
     let stub = stub_flag(&flags)?;
     let trace = read_trace(flags.require("in")?, stub)?;
     let batch_size = batch_size_flag(&flags)?;
@@ -319,7 +412,11 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         .as_micros()
         .div_ceil(period.as_micros())
         .max(1);
-    let mut dog = ConcurrentSynDog::with_policy(config, capacity, policy);
+    let mut dog = if sink.is_some() {
+        ConcurrentSynDog::with_telemetry(config, capacity, policy, Arc::clone(&hub))
+    } else {
+        ConcurrentSynDog::with_policy(config, capacity, policy)
+    };
 
     fn submit_pending(
         dog: &ConcurrentSynDog,
@@ -385,7 +482,10 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         ),
         None => println!("no flooding detected"),
     }
-    Ok(())
+    match sink {
+        Some(sink) => sink.finish(&hub),
+        None => Ok(()),
+    }
 }
 
 /// The shared `detect` / `sniff` result report.
@@ -441,12 +541,14 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
     let mut locator = SourceLocator::new(stub);
     for record in trace.records() {
         agent.observe_record(record);
-        if !locator.is_armed() && agent.first_alarm().is_some() {
-            locator.arm();
-            println!(
-                "alarm at period {} — arming per-MAC accounting",
-                agent.first_alarm().expect("just checked").period
-            );
+        if !locator.is_armed() {
+            if let Some(alarm) = agent.first_alarm() {
+                locator.arm();
+                println!(
+                    "alarm at period {} — arming per-MAC accounting",
+                    alarm.period
+                );
+            }
         }
         locator.observe(record);
     }
@@ -466,6 +568,76 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
             suspect.mac,
             suspect.spoofed_syns,
             suspect.share * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Reads a JSON Lines metrics dump (written by `--metrics FILE.jsonl`)
+/// and prints a human summary, or re-renders it in another exporter
+/// format with `--format`.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let input = flags.require("in")?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("open {input}: {e}"))?;
+    let snapshot = export::parse_jsonl(&text).map_err(|e| format!("parse {input}: {e}"))?;
+    if let Some(name) = flags.get("format") {
+        let format = ExportFormat::parse(name)
+            .ok_or_else(|| format!("invalid --format: {name} (prom, jsonl, csv)"))?;
+        print!("{}", format.render(&snapshot));
+        return Ok(());
+    }
+    let labels = |pairs: &[(String, String)]| {
+        if pairs.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    };
+    println!("{input}:");
+    for counter in &snapshot.counters {
+        println!(
+            "  {}{}  {}",
+            counter.name,
+            labels(&counter.labels),
+            counter.value
+        );
+    }
+    for gauge in &snapshot.gauges {
+        println!("  {}{}  {}", gauge.name, labels(&gauge.labels), gauge.value);
+    }
+    for histogram in &snapshot.histograms {
+        let mean = if histogram.count == 0 {
+            0.0
+        } else {
+            histogram.sum as f64 / histogram.count as f64
+        };
+        println!(
+            "  {}{}  count {}, mean {:.1}",
+            histogram.name,
+            labels(&histogram.labels),
+            histogram.count,
+            mean
+        );
+    }
+    println!(
+        "  {} events retained ({} overwritten)",
+        snapshot.events.len(),
+        snapshot.events_dropped
+    );
+    for event in &snapshot.events {
+        let fields: Vec<String> = event
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "    [{:>5}] t={:.0}s {} {}",
+            event.seq,
+            event.t,
+            event.kind,
+            fields.join(" ")
         );
     }
     Ok(())
@@ -628,6 +800,128 @@ mod tests {
             "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn metrics_sink_serves_scrapes_for_address_destinations() {
+        use std::io::{Read, Write};
+        let hub = Arc::new(Telemetry::new());
+        hub.registry().counter("syndog_periods_total").add(2);
+        let flags = Flags::parse(&args(&["--metrics", "127.0.0.1:0"]), &[]).unwrap();
+        let sink = metrics_sink(&flags, &hub).unwrap().unwrap();
+        let MetricsSink::Serve(server) = &sink else {
+            panic!("socket address should open a scrape endpoint")
+        };
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.contains("syndog_periods_total 2"), "{response}");
+        sink.finish(&hub).unwrap();
+    }
+
+    #[test]
+    fn metrics_flags_dump_snapshots_and_stats_reads_them_back() {
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(300),
+            victim(),
+        );
+        trace.merge(&flood.generate_trace(&mut rng));
+        let stub = site.stub().to_string();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let trace_path = path("syndog_test_metrics.bin");
+        write_trace(&trace, &trace_path).unwrap();
+
+        // detect → Prometheus text (format inferred from the extension).
+        let prom = path("syndog_test_metrics.prom");
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--metrics",
+            &prom,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            text.contains("# TYPE syndog_periods_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("syndog_alarms_total"), "{text}");
+
+        // sniff → JSONL, then read it back through `stats` both ways.
+        let jsonl = path("syndog_test_metrics.jsonl");
+        cmd_sniff(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--metrics",
+            &jsonl,
+        ]))
+        .unwrap();
+        cmd_stats(&args(&["--in", &jsonl])).unwrap();
+        cmd_stats(&args(&["--in", &jsonl, "--format", "prom"])).unwrap();
+        let restored = export::parse_jsonl(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+        assert!(restored.counter_total("syndog_periods_total") > 0);
+        assert!(restored.counter_total("syndog_frames_total") > 0);
+        assert!(restored
+            .events
+            .iter()
+            .any(|event| event.kind == "alarm_raised"));
+
+        // replay → CSV forced over a non-matching extension.
+        let csv = path("syndog_test_metrics_snapshot.out");
+        cmd_replay(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--drop",
+            "--metrics",
+            &csv,
+            "--metrics-format",
+            "csv",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert!(text.starts_with("row_type,name,labels,value"), "{text}");
+        assert!(text.contains("syndog_submitted_batches_total"), "{text}");
+
+        // Flag misuse fails loudly rather than dropping telemetry.
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--metrics-format",
+            "csv",
+        ]))
+        .is_err());
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--metrics",
+            &prom,
+            "--metrics-format",
+            "xml",
+        ]))
+        .is_err());
+        assert!(cmd_stats(&args(&["--in", "/nonexistent/syndog.jsonl"])).is_err());
+        assert!(cmd_stats(&args(&["--in", &jsonl, "--format", "xml"])).is_err());
+
+        for p in [&trace_path, &prom, &jsonl, &csv] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

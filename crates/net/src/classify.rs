@@ -69,6 +69,20 @@ impl SegmentKind {
     pub fn is_handshake_signal(&self) -> bool {
         matches!(self, SegmentKind::Syn | SegmentKind::SynAck)
     }
+
+    /// A stable lowercase name, used as the `kind` label on telemetry
+    /// series (`syndog_segments_total{kind="syn"}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SegmentKind::Syn => "syn",
+            SegmentKind::SynAck => "synack",
+            SegmentKind::Rst => "rst",
+            SegmentKind::Fin => "fin",
+            SegmentKind::Ack => "ack",
+            SegmentKind::OtherTcp => "other_tcp",
+            SegmentKind::NonTcp => "non_tcp",
+        }
+    }
 }
 
 /// Classifies raw Ethernet frame bytes.

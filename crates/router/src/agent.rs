@@ -7,13 +7,17 @@
 //! first mile, an alarm *is* localization to the stub network; the
 //! [`crate::locate`] module then narrows it to a host.
 
+use std::sync::Arc;
+
 use syndog::{Detection, PeriodCounts, SynDogConfig, SynDogDetector};
 use syndog_net::Ipv4Net;
 use syndog_sim::{SimDuration, SimTime};
-use syndog_traffic::trace::{PeriodSample, Trace, TraceRecord};
+use syndog_telemetry::Telemetry;
+use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
 
 use crate::router::LeafRouter;
 use crate::source::{FrameSource, TraceSource};
+use crate::telemetry::AgentTelemetry;
 
 /// A raised flooding alarm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +37,7 @@ pub struct SynDogAgent {
     detector: SynDogDetector,
     detections: Vec<Detection>,
     alarms: Vec<Alarm>,
+    telemetry: Option<AgentTelemetry>,
 }
 
 impl SynDogAgent {
@@ -45,7 +50,22 @@ impl SynDogAgent {
             detector: SynDogDetector::new(config),
             detections: Vec::new(),
             alarms: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: every subsequent period close reports
+    /// detector series, alarm transitions, and per-interface sniffer
+    /// tallies into it (see [`crate::telemetry`] for the series names).
+    pub fn set_telemetry(&mut self, hub: Arc<Telemetry>) {
+        self.telemetry = Some(AgentTelemetry::new(hub));
+    }
+
+    /// Builder-style variant of [`SynDogAgent::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, hub: Arc<Telemetry>) -> Self {
+        self.set_telemetry(hub);
+        self
     }
 
     /// The underlying router.
@@ -77,6 +97,7 @@ impl SynDogAgent {
     /// Feeds one pre-aggregated period sample directly to the detector
     /// (bypassing the router), for count-level experiments.
     pub fn observe_period(&mut self, sample: PeriodSample) -> Detection {
+        let close_started = std::time::Instant::now();
         let detection = self.detector.observe(PeriodCounts {
             syn: sample.syn,
             synack: sample.synack,
@@ -90,6 +111,19 @@ impl SynDogAgent {
             });
         }
         self.detections.push(detection);
+        if let Some(telemetry) = &mut self.telemetry {
+            let end_secs = self.router.period().as_secs_f64() * (detection.period + 1) as f64;
+            telemetry.record_period(
+                sample,
+                &detection,
+                end_secs,
+                close_started.elapsed().as_micros() as u64,
+            );
+            telemetry.sync_sniffers(
+                self.router.sniffer(Direction::Outbound),
+                self.router.sniffer(Direction::Inbound),
+            );
+        }
         detection
     }
 
@@ -224,6 +258,97 @@ mod tests {
         assert_eq!(alarm.period, 1);
         assert_eq!(alarm.time, SimTime::from_secs(40));
         assert!(alarm.statistic >= 1.05);
+    }
+
+    #[test]
+    fn telemetry_reports_per_period_series_and_alarms() {
+        use syndog_telemetry::FieldValue;
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(32);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(40 * 20),
+            SimDuration::from_secs(600),
+            "192.0.2.80:80".parse().unwrap(),
+        );
+        trace.merge(&flood.generate_trace(&mut rng));
+        let hub = Arc::new(Telemetry::new());
+        let mut agent = SynDogAgent::new(site.stub(), SynDogConfig::paper_default())
+            .with_telemetry(Arc::clone(&hub));
+        agent.run_trace(&trace);
+
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter_total("syndog_periods_total"),
+            agent.detections().len() as u64
+        );
+        // The telemetry totals must equal the trace's own period binning.
+        let syn_total: u64 = trace
+            .period_counts(agent.router().period())
+            .iter()
+            .map(|s| s.syn)
+            .sum();
+        assert_eq!(snap.counter_total("syndog_syn_total"), syn_total);
+        // The flood ends mid-trace, so the CUSUM drains and the alarm
+        // clears: the counter counts rising edges, the gauge tracks the
+        // final state.
+        let rising_edges = agent
+            .detections()
+            .windows(2)
+            .filter(|w| !w[0].alarm && w[1].alarm)
+            .count() as u64
+            + u64::from(agent.detections()[0].alarm);
+        assert!(rising_edges >= 1);
+        assert_eq!(snap.counter_total("syndog_alarms_total"), rising_edges);
+        assert_eq!(
+            snap.gauge("syndog_alarm_active"),
+            Some(f64::from(u8::from(
+                agent.detections().last().unwrap().alarm
+            )))
+        );
+        assert_eq!(
+            snap.gauge("syndog_cusum_statistic"),
+            Some(agent.detections().last().unwrap().statistic)
+        );
+        // Per-interface segment tallies flow through the sniffer sync.
+        assert!(
+            snap.counter(
+                "syndog_segments_total",
+                &[("interface", "outbound"), ("kind", "syn")]
+            )
+            .unwrap_or(0)
+                > 0
+        );
+        // Events: one period_closed per period (modulo ring capacity) and
+        // the alarm_raised transition stamped with the alarm period.
+        let raised = snap
+            .events
+            .iter()
+            .find(|e| e.kind == "alarm_raised")
+            .expect("alarm_raised event emitted");
+        let alarm = agent.first_alarm().unwrap();
+        assert_eq!(raised.field("period"), Some(&FieldValue::U64(alarm.period)));
+        assert!((raised.t - alarm.time.as_secs_f64()).abs() < 1e-9);
+        let close_hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "syndog_period_close_micros")
+            .expect("close-latency histogram registered");
+        assert_eq!(close_hist.count, agent.detections().len() as u64);
+    }
+
+    #[test]
+    fn untelemetered_agent_matches_telemetered_agent() {
+        // Instrumentation must be observation-only: identical detections
+        // with and without a hub attached.
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(34);
+        let trace = site.generate_trace(&mut rng);
+        let mut plain = SynDogAgent::new(site.stub(), SynDogConfig::paper_default());
+        let mut wired = SynDogAgent::new(site.stub(), SynDogConfig::paper_default())
+            .with_telemetry(Arc::new(Telemetry::new()));
+        assert_eq!(plain.run_trace(&trace), wired.run_trace(&trace));
     }
 
     #[test]

@@ -37,9 +37,11 @@ use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
 use syndog_net::classify::SegmentKind;
 use syndog_net::Ipv4Net;
 use syndog_sim::SimDuration;
+use syndog_telemetry::{Gauge, Telemetry};
 use syndog_traffic::trace::Direction;
 
 use crate::router::LeafRouter;
+use crate::telemetry::{AgentTelemetry, ConcurrentTelemetry};
 
 /// What a sniffer channel does when it is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,7 +115,11 @@ struct SnifferThread {
     counters: Arc<InterfaceCounters>,
 }
 
-fn spawn_sniffer(counters: Arc<InterfaceCounters>, capacity: usize) -> SnifferThread {
+fn spawn_sniffer(
+    counters: Arc<InterfaceCounters>,
+    capacity: usize,
+    depth: Option<Arc<Gauge>>,
+) -> SnifferThread {
     let (sender, receiver): (SyncSender<SnifferMsg>, Receiver<SnifferMsg>) = sync_channel(capacity);
     let thread_counters = Arc::clone(&counters);
     let handle = std::thread::spawn(move || {
@@ -121,6 +127,11 @@ fn spawn_sniffer(counters: Arc<InterfaceCounters>, capacity: usize) -> SnifferTh
         while let Ok(msg) = receiver.recv() {
             match msg {
                 SnifferMsg::Batch(batch) => {
+                    // The depth gauge pairs with the submit-side increment:
+                    // it reads the number of batches still in flight.
+                    if let Some(depth) = &depth {
+                        depth.sub(1.0);
+                    }
                     frames += batch.len() as u64;
                     thread_counters.add(&classify_batch(&batch));
                 }
@@ -148,6 +159,8 @@ pub struct ConcurrentSynDog {
     policy: OverflowPolicy,
     detector: SynDogDetector,
     detections: Vec<Detection>,
+    agent_telemetry: Option<AgentTelemetry>,
+    channel_telemetry: Option<ConcurrentTelemetry>,
 }
 
 impl std::fmt::Debug for ConcurrentSynDog {
@@ -180,6 +193,32 @@ impl ConcurrentSynDog {
         channel_capacity: usize,
         policy: OverflowPolicy,
     ) -> Self {
+        Self::build(config, channel_capacity, policy, None)
+    }
+
+    /// Starts both sniffer threads reporting into a telemetry hub: the
+    /// detector series of [`crate::telemetry::AgentTelemetry`] plus the
+    /// channel-layer submit/shed/depth series and the flush-latency
+    /// histogram (see [`crate::telemetry`] for the names).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_capacity` is zero.
+    pub fn with_telemetry(
+        config: SynDogConfig,
+        channel_capacity: usize,
+        policy: OverflowPolicy,
+        hub: Arc<Telemetry>,
+    ) -> Self {
+        Self::build(config, channel_capacity, policy, Some(hub))
+    }
+
+    fn build(
+        config: SynDogConfig,
+        channel_capacity: usize,
+        policy: OverflowPolicy,
+        hub: Option<Arc<Telemetry>>,
+    ) -> Self {
         assert!(channel_capacity > 0, "channel capacity must be non-zero");
         // The concurrent deployment classifies by interface, not by
         // address, so the router's stub prefix is unused; the period clock
@@ -187,13 +226,29 @@ impl ConcurrentSynDog {
         // counter-exchange path.
         let stub: Ipv4Net = "0.0.0.0/0".parse().expect("static prefix parses");
         let period = SimDuration::from_secs_f64(config.observation_period_secs);
+        let channel_telemetry = hub.as_deref().map(ConcurrentTelemetry::new);
+        let depth = |direction: Direction| {
+            channel_telemetry
+                .as_ref()
+                .map(|t| t.channel(direction).depth())
+        };
         ConcurrentSynDog {
             router: LeafRouter::new(stub, period),
-            outbound: spawn_sniffer(Arc::new(InterfaceCounters::default()), channel_capacity),
-            inbound: spawn_sniffer(Arc::new(InterfaceCounters::default()), channel_capacity),
+            outbound: spawn_sniffer(
+                Arc::new(InterfaceCounters::default()),
+                channel_capacity,
+                depth(Direction::Outbound),
+            ),
+            inbound: spawn_sniffer(
+                Arc::new(InterfaceCounters::default()),
+                channel_capacity,
+                depth(Direction::Inbound),
+            ),
             policy,
             detector: SynDogDetector::new(config),
             detections: Vec::new(),
+            agent_telemetry: hub.map(AgentTelemetry::new),
+            channel_telemetry,
         }
     }
 
@@ -210,16 +265,29 @@ impl ConcurrentSynDog {
     /// the loss, and returns `false`.
     pub fn submit_batch(&self, direction: Direction, batch: FrameBatch) -> bool {
         let target = self.interface(direction);
+        let channel = self
+            .channel_telemetry
+            .as_ref()
+            .map(|t| t.channel(direction));
+        let frames = batch.len() as u64;
         match self.policy {
             OverflowPolicy::Block => {
                 target
                     .sender
                     .send(SnifferMsg::Batch(batch))
                     .expect("sniffer thread alive for the life of the agent");
+                if let Some(channel) = channel {
+                    channel.record_submitted(frames);
+                }
                 true
             }
             OverflowPolicy::Drop => match target.sender.try_send(SnifferMsg::Batch(batch)) {
-                Ok(()) => true,
+                Ok(()) => {
+                    if let Some(channel) = channel {
+                        channel.record_submitted(frames);
+                    }
+                    true
+                }
                 Err(TrySendError::Full(SnifferMsg::Batch(batch))) => {
                     target
                         .counters
@@ -229,6 +297,9 @@ impl ConcurrentSynDog {
                         .counters
                         .dropped_frames
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    if let Some(channel) = channel {
+                        channel.record_dropped(batch.len() as u64);
+                    }
                     false
                 }
                 Err(_) => panic!("sniffer thread alive for the life of the agent"),
@@ -250,6 +321,7 @@ impl ConcurrentSynDog {
     /// always uses a blocking send, regardless of overflow policy —
     /// barriers are never shed.
     pub fn flush(&self) {
+        let started = std::time::Instant::now();
         let mut acks = Vec::with_capacity(2);
         for target in [&self.outbound, &self.inbound] {
             let (ack_tx, ack_rx) = sync_channel(1);
@@ -261,6 +333,9 @@ impl ConcurrentSynDog {
         }
         for ack in acks {
             ack.recv().expect("sniffer thread acks every flush");
+        }
+        if let Some(telemetry) = &self.channel_telemetry {
+            telemetry.record_flush(started.elapsed().as_micros() as u64);
         }
     }
 
@@ -275,6 +350,7 @@ impl ConcurrentSynDog {
     /// either side, which the CUSUM absorbs — exactly like the real
     /// deployment.
     pub fn close_period(&mut self) -> Detection {
+        let close_started = std::time::Instant::now();
         self.router
             .observe_counts(Direction::Outbound, &self.outbound.counters.drain());
         self.router
@@ -285,6 +361,19 @@ impl ConcurrentSynDog {
             synack: sample.synack,
         });
         self.detections.push(detection);
+        if let Some(telemetry) = &mut self.agent_telemetry {
+            let end_secs = self.router.period().as_secs_f64() * (detection.period + 1) as f64;
+            telemetry.record_period(
+                sample,
+                &detection,
+                end_secs,
+                close_started.elapsed().as_micros() as u64,
+            );
+            telemetry.sync_sniffers(
+                self.router.sniffer(Direction::Outbound),
+                self.router.sniffer(Direction::Inbound),
+            );
+        }
         detection
     }
 
@@ -506,6 +595,145 @@ mod tests {
         dog.flush();
         assert_eq!(dog.close_period().delta, 0.0);
         assert_eq!(dog.shutdown().0, 0);
+    }
+
+    #[test]
+    fn drop_policy_shed_tally_is_exact_in_telemetry_snapshot() {
+        // Satellite check for the telemetry subsystem: submit N batches
+        // over a wedged capacity-C channel and verify through the
+        // *snapshot* (not the accessors) that exactly N - (C - 1) were
+        // shed — the wedge batch occupies one of the C slots, so C - 1
+        // submissions fit and the rest must be counted as dropped.
+        use std::sync::Arc;
+        const CAPACITY: usize = 4;
+        const SUBMITTED: u64 = 10;
+        let hub = Arc::new(Telemetry::new());
+        let mut dog = ConcurrentSynDog::with_telemetry(
+            SynDogConfig::paper_default(),
+            CAPACITY,
+            OverflowPolicy::Drop,
+            Arc::clone(&hub),
+        );
+        let (stall_tx, stall_rx) = sync_channel::<()>(0);
+        dog.outbound
+            .sender
+            .send(SnifferMsg::Flush(stall_tx))
+            .unwrap();
+        // Fill the queue with telemetry-counted submissions until exactly
+        // CAPACITY of them are accepted. The flush transiently occupies a
+        // slot, so the CAPACITY-th acceptance proves the thread dequeued
+        // it and is now parked in the rendezvous ack — from here on the
+        // queue is full and stays full. Total enqueue attempts over the
+        // test are `accepted + SUBMITTED` against a capacity-CAPACITY
+        // channel: exactly CAPACITY accepted, SUBMITTED shed.
+        let mut accepted = 0u64;
+        let mut frame_id = 0u32;
+        while accepted < CAPACITY as u64 {
+            let batch = batch_of([syn_frame(frame_id)]);
+            if dog.submit_batch(Direction::Outbound, batch) {
+                accepted += 1;
+                frame_id += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Wedge-phase sheds are nondeterministic in count; record the
+        // baseline before the measured submissions.
+        let shed_baseline = dog.dropped_batches();
+        for i in 0..SUBMITTED {
+            assert!(
+                !dog.submit_batch(
+                    Direction::Outbound,
+                    batch_of((0..2).map(|j| syn_frame(1000 + (i * 2 + j) as u32))),
+                ),
+                "a full channel under Drop policy must shed"
+            );
+        }
+        let snap = hub.snapshot();
+        let outbound = [("interface", "outbound")];
+        assert_eq!(
+            snap.counter("syndog_dropped_batches_total", &outbound),
+            Some(shed_baseline + SUBMITTED),
+            "every shed batch must surface in the snapshot"
+        );
+        let dropped_frames = snap
+            .counter("syndog_dropped_frames_total", &outbound)
+            .unwrap();
+        // Wedge-phase sheds were 1-frame batches; measured sheds 2-frame.
+        assert_eq!(dropped_frames, shed_baseline + 2 * SUBMITTED);
+        assert_eq!(
+            snap.counter("syndog_submitted_batches_total", &outbound),
+            Some(CAPACITY as u64)
+        );
+        // The wedged thread has dequeued nothing since the fill: depth
+        // reads every accepted-but-unprocessed batch.
+        let depth = |snap: &syndog_telemetry::Snapshot| {
+            snap.gauges
+                .iter()
+                .find(|g| {
+                    g.name == "syndog_channel_depth"
+                        && g.labels.iter().any(|(_, v)| v == "outbound")
+                })
+                .map(|g| g.value)
+        };
+        assert_eq!(depth(&snap), Some(CAPACITY as f64));
+        // Un-wedge and drain; the depth gauge must settle back to zero
+        // and the snapshot must agree with the accessors.
+        stall_rx.recv().unwrap();
+        dog.flush();
+        let snap = hub.snapshot();
+        assert_eq!(depth(&snap), Some(0.0));
+        assert_eq!(
+            snap.counter("syndog_dropped_batches_total", &outbound),
+            Some(dog.dropped_batches()),
+            "snapshot and accessor must agree"
+        );
+        assert_eq!(
+            snap.counter("syndog_dropped_frames_total", &outbound),
+            Some(dog.dropped_frames())
+        );
+        dog.close_period();
+        dog.shutdown();
+    }
+
+    #[test]
+    fn concurrent_telemetry_reports_periods_and_flush_latency() {
+        let hub = std::sync::Arc::new(Telemetry::new());
+        let mut dog = ConcurrentSynDog::with_telemetry(
+            SynDogConfig::paper_default(),
+            64,
+            OverflowPolicy::Block,
+            std::sync::Arc::clone(&hub),
+        );
+        dog.submit_batch(Direction::Outbound, batch_of((0..20).map(syn_frame)));
+        dog.submit_batch(Direction::Inbound, batch_of((0..10).map(synack_frame)));
+        dog.flush();
+        dog.close_period();
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_total("syndog_periods_total"), 1);
+        assert_eq!(snap.counter_total("syndog_syn_total"), 20);
+        assert_eq!(snap.counter_total("syndog_synack_total"), 10);
+        assert_eq!(
+            snap.counter(
+                "syndog_segments_total",
+                &[("interface", "outbound"), ("kind", "syn")]
+            ),
+            Some(20)
+        );
+        let flush = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "syndog_flush_micros")
+            .expect("flush histogram registered");
+        assert_eq!(flush.count, 1);
+        assert_eq!(
+            snap.events
+                .iter()
+                .filter(|e| e.kind == "period_closed")
+                .count(),
+            1
+        );
+        dog.shutdown();
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   share,
 //! - [`concurrent`] — the two-thread shared-memory deployment shape
 //!   described in the paper, with sniffer threads feeding lock-free
-//!   atomic counters from batched frame channels.
+//!   atomic counters from batched frame channels,
+//! - [`telemetry`] — the named metric series and structured events both
+//!   deployment shapes report into a shared
+//!   [`syndog_telemetry::Telemetry`] hub; registration is up-front and
+//!   the record path is relaxed atomics, so instrumentation never
+//!   touches the ingest hot path.
 //!
 //! [`LeafRouter::ingest`]: router::LeafRouter::ingest
 
@@ -35,6 +40,7 @@ pub mod locate;
 pub mod router;
 pub mod sniffer;
 pub mod source;
+pub mod telemetry;
 
 pub use agent::{Alarm, SynDogAgent};
 pub use concurrent::{ConcurrentSynDog, OverflowPolicy};
@@ -46,3 +52,4 @@ pub use source::{
     EventBatch, FrameEvent, FrameSource, PcapSource, RawFrameSource, TraceSource,
     DEFAULT_BATCH_SIZE,
 };
+pub use telemetry::{AgentTelemetry, ConcurrentTelemetry};

@@ -21,6 +21,10 @@ pub struct Sniffer {
     synack: u64,
     frames_seen: u64,
     malformed: u64,
+    /// Lifetime tally per [`SegmentKind`] — the telemetry subsystem reads
+    /// these at period close to keep `syndog_segments_total` current.
+    /// Still constant-size: the statelessness claim holds.
+    kinds: [u64; SegmentKind::ALL.len()],
 }
 
 impl Sniffer {
@@ -37,6 +41,7 @@ impl Sniffer {
             synack: 0,
             frames_seen: 0,
             malformed: 0,
+            kinds: [0; SegmentKind::ALL.len()],
         }
     }
 
@@ -83,6 +88,7 @@ impl Sniffer {
     /// Records an already-classified segment (the trace-driven path).
     pub fn observe_kind(&mut self, kind: SegmentKind) {
         self.frames_seen += 1;
+        self.kinds[kind.index()] += 1;
         match kind {
             SegmentKind::Syn => self.syn += 1,
             SegmentKind::SynAck => self.synack += 1,
@@ -106,6 +112,9 @@ impl Sniffer {
         self.synack += counts.synack();
         self.frames_seen += counts.total();
         self.malformed += counts.malformed();
+        for (kind, count) in counts.iter() {
+            self.kinds[kind.index()] += count;
+        }
     }
 
     /// Classifies a whole [`FrameBatch`] and folds it into the counters —
@@ -132,6 +141,12 @@ impl Sniffer {
     /// Frames that failed classification (lifetime).
     pub fn malformed(&self) -> u64 {
         self.malformed
+    }
+
+    /// Lifetime count of well-formed frames of the given kind (not reset
+    /// by [`Sniffer::take_counts`]).
+    pub fn kind_count(&self, kind: SegmentKind) -> u64 {
+        self.kinds[kind.index()]
     }
 
     /// Returns the period's counts and resets them — the "periodically
@@ -175,6 +190,16 @@ mod tests {
         assert_eq!(sniffer.synack_count(), 1);
         assert_eq!(sniffer.frames_seen(), 5);
         assert_eq!(sniffer.malformed(), 0);
+        assert_eq!(sniffer.kind_count(SegmentKind::Syn), 1);
+        assert_eq!(sniffer.kind_count(SegmentKind::SynAck), 1);
+        assert_eq!(sniffer.kind_count(SegmentKind::Ack), 1);
+        assert_eq!(sniffer.kind_count(SegmentKind::Rst), 1);
+        assert_eq!(sniffer.kind_count(SegmentKind::Fin), 1);
+        let lifetime: u64 = SegmentKind::ALL
+            .iter()
+            .map(|&k| sniffer.kind_count(k))
+            .sum();
+        assert_eq!(lifetime, 5, "per-kind tallies partition well-formed frames");
     }
 
     #[test]

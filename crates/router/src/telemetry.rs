@@ -1,0 +1,419 @@
+//! Telemetry wiring for the router crate: named series, pre-fetched.
+//!
+//! The discipline mirrors the one `syndog-telemetry` promises: metric
+//! *registration* (name lookup, label sorting, a mutex) happens once, at
+//! construction, and the handles are held as `Arc`s; the *record* path —
+//! called from [`SynDogAgent::observe_period`] and the
+//! [`ConcurrentSynDog`] submit/flush paths — is relaxed atomics only.
+//! Events (`period_closed`, `alarm_raised`, `alarm_cleared`) fire at
+//! period granularity, never per frame.
+//!
+//! Series registered here (the names the CI smoke test and dashboards
+//! key on):
+//!
+//! | series | type | labels |
+//! |---|---|---|
+//! | `syndog_periods_total` | counter | |
+//! | `syndog_syn_total` | counter | |
+//! | `syndog_synack_total` | counter | |
+//! | `syndog_alarms_total` | counter | |
+//! | `syndog_alarm_active` | gauge | |
+//! | `syndog_cusum_statistic` | gauge | |
+//! | `syndog_normalized_delta` | gauge | |
+//! | `syndog_period_close_micros` | histogram | |
+//! | `syndog_segments_total` | counter | `interface`, `kind` |
+//! | `syndog_frames_total` | counter | `interface` |
+//! | `syndog_malformed_total` | counter | `interface` |
+//! | `syndog_submitted_batches_total` | counter | `interface` |
+//! | `syndog_submitted_frames_total` | counter | `interface` |
+//! | `syndog_dropped_batches_total` | counter | `interface` |
+//! | `syndog_dropped_frames_total` | counter | `interface` |
+//! | `syndog_channel_depth` | gauge | `interface` |
+//! | `syndog_flush_micros` | histogram | |
+//!
+//! [`SynDogAgent::observe_period`]: crate::agent::SynDogAgent::observe_period
+//! [`ConcurrentSynDog`]: crate::concurrent::ConcurrentSynDog
+
+use std::sync::Arc;
+
+use syndog::Detection;
+use syndog_net::SegmentKind;
+use syndog_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry};
+use syndog_traffic::trace::{Direction, PeriodSample};
+
+use crate::sniffer::Sniffer;
+
+/// A stable lowercase interface name for the `interface` label.
+pub fn direction_label(direction: Direction) -> &'static str {
+    match direction {
+        Direction::Outbound => "outbound",
+        Direction::Inbound => "inbound",
+    }
+}
+
+/// Per-interface lifetime series, synced by delta against the sniffer's
+/// own monotone tallies at each period close. Delta-tracking keeps the
+/// sniffer itself telemetry-free: it stays the plain value type the
+/// single-threaded paths clone and compare.
+#[derive(Debug, Clone)]
+struct InterfaceSeries {
+    kinds: [Arc<Counter>; SegmentKind::ALL.len()],
+    frames: Arc<Counter>,
+    malformed: Arc<Counter>,
+    last_kinds: [u64; SegmentKind::ALL.len()],
+    last_frames: u64,
+    last_malformed: u64,
+}
+
+impl InterfaceSeries {
+    fn new(telemetry: &Telemetry, direction: Direction) -> Self {
+        let interface = direction_label(direction);
+        let registry = telemetry.registry();
+        InterfaceSeries {
+            kinds: SegmentKind::ALL.map(|kind| {
+                registry.counter_with(
+                    "syndog_segments_total",
+                    &[("interface", interface), ("kind", kind.label())],
+                )
+            }),
+            frames: registry.counter_with("syndog_frames_total", &[("interface", interface)]),
+            malformed: registry.counter_with("syndog_malformed_total", &[("interface", interface)]),
+            last_kinds: [0; SegmentKind::ALL.len()],
+            last_frames: 0,
+            last_malformed: 0,
+        }
+    }
+
+    /// Publishes the sniffer's lifetime tallies as counter deltas.
+    fn sync(&mut self, sniffer: &Sniffer) {
+        for kind in SegmentKind::ALL {
+            let seen = sniffer.kind_count(kind);
+            self.kinds[kind.index()].add(seen - self.last_kinds[kind.index()]);
+            self.last_kinds[kind.index()] = seen;
+        }
+        let frames = sniffer.frames_seen();
+        self.frames.add(frames - self.last_frames);
+        self.last_frames = frames;
+        let malformed = sniffer.malformed();
+        self.malformed.add(malformed - self.last_malformed);
+        self.last_malformed = malformed;
+    }
+}
+
+/// Telemetry handles for one detection pipeline (an agent or the
+/// concurrent coordinator): per-period detector series plus per-interface
+/// sniffer tallies.
+#[derive(Debug, Clone)]
+pub struct AgentTelemetry {
+    hub: Arc<Telemetry>,
+    periods: Arc<Counter>,
+    syn: Arc<Counter>,
+    synack: Arc<Counter>,
+    alarms: Arc<Counter>,
+    alarm_active: Arc<Gauge>,
+    cusum: Arc<Gauge>,
+    normalized_delta: Arc<Gauge>,
+    close_micros: Arc<Histogram>,
+    outbound: InterfaceSeries,
+    inbound: InterfaceSeries,
+    alarm_was_active: bool,
+}
+
+impl AgentTelemetry {
+    /// Registers every per-agent series on the hub and keeps the handles.
+    pub fn new(hub: Arc<Telemetry>) -> Self {
+        let registry = hub.registry();
+        AgentTelemetry {
+            periods: registry.counter("syndog_periods_total"),
+            syn: registry.counter("syndog_syn_total"),
+            synack: registry.counter("syndog_synack_total"),
+            alarms: registry.counter("syndog_alarms_total"),
+            alarm_active: registry.gauge("syndog_alarm_active"),
+            cusum: registry.gauge("syndog_cusum_statistic"),
+            normalized_delta: registry.gauge("syndog_normalized_delta"),
+            close_micros: registry.histogram("syndog_period_close_micros"),
+            outbound: InterfaceSeries::new(&hub, Direction::Outbound),
+            inbound: InterfaceSeries::new(&hub, Direction::Inbound),
+            alarm_was_active: false,
+            hub,
+        }
+    }
+
+    /// The shared hub this agent reports into.
+    pub fn hub(&self) -> &Arc<Telemetry> {
+        &self.hub
+    }
+
+    /// Records one closed observation period: the sample the detector
+    /// consumed, its [`Detection`], and how long the close took.
+    /// `period_end_secs` stamps the emitted events (simulated seconds).
+    pub fn record_period(
+        &mut self,
+        sample: PeriodSample,
+        detection: &Detection,
+        period_end_secs: f64,
+        close_micros: u64,
+    ) {
+        self.periods.inc();
+        self.syn.add(sample.syn);
+        self.synack.add(sample.synack);
+        self.cusum.set(detection.statistic);
+        self.normalized_delta.set(detection.x);
+        self.close_micros.record(close_micros);
+        self.hub.events().emit(
+            period_end_secs,
+            "period_closed",
+            [
+                ("period", FieldValue::U64(detection.period)),
+                ("syn", FieldValue::U64(sample.syn)),
+                ("synack", FieldValue::U64(sample.synack)),
+                ("x", FieldValue::F64(detection.x)),
+                ("y", FieldValue::F64(detection.statistic)),
+            ],
+        );
+        match (self.alarm_was_active, detection.alarm) {
+            (false, true) => {
+                self.alarms.inc();
+                self.alarm_active.set(1.0);
+                self.hub.events().emit(
+                    period_end_secs,
+                    "alarm_raised",
+                    [
+                        ("period", FieldValue::U64(detection.period)),
+                        ("y", FieldValue::F64(detection.statistic)),
+                    ],
+                );
+            }
+            (true, false) => {
+                self.alarm_active.set(0.0);
+                self.hub.events().emit(
+                    period_end_secs,
+                    "alarm_cleared",
+                    [
+                        ("period", FieldValue::U64(detection.period)),
+                        ("y", FieldValue::F64(detection.statistic)),
+                    ],
+                );
+            }
+            _ => {}
+        }
+        self.alarm_was_active = detection.alarm;
+    }
+
+    /// Publishes both sniffers' lifetime tallies (per-kind segments,
+    /// frames, malformed) as counter deltas.
+    pub fn sync_sniffers(&mut self, outbound: &Sniffer, inbound: &Sniffer) {
+        self.outbound.sync(outbound);
+        self.inbound.sync(inbound);
+    }
+}
+
+/// Channel-side series for one concurrent interface. The submit side
+/// (coordinator thread) bumps the submitted/dropped counters; the depth
+/// gauge is shared with the sniffer thread, which decrements it as it
+/// dequeues — so the gauge reads the number of batches in flight.
+#[derive(Debug, Clone)]
+pub struct ChannelTelemetry {
+    submitted_batches: Arc<Counter>,
+    submitted_frames: Arc<Counter>,
+    dropped_batches: Arc<Counter>,
+    dropped_frames: Arc<Counter>,
+    depth: Arc<Gauge>,
+}
+
+impl ChannelTelemetry {
+    fn new(telemetry: &Telemetry, direction: Direction) -> Self {
+        let interface = direction_label(direction);
+        let registry = telemetry.registry();
+        ChannelTelemetry {
+            submitted_batches: registry.counter_with(
+                "syndog_submitted_batches_total",
+                &[("interface", interface)],
+            ),
+            submitted_frames: registry
+                .counter_with("syndog_submitted_frames_total", &[("interface", interface)]),
+            dropped_batches: registry
+                .counter_with("syndog_dropped_batches_total", &[("interface", interface)]),
+            dropped_frames: registry
+                .counter_with("syndog_dropped_frames_total", &[("interface", interface)]),
+            depth: registry.gauge_with("syndog_channel_depth", &[("interface", interface)]),
+        }
+    }
+
+    /// Records a successfully enqueued batch (coordinator side).
+    pub fn record_submitted(&self, frames: u64) {
+        self.submitted_batches.inc();
+        self.submitted_frames.add(frames);
+        self.depth.add(1.0);
+    }
+
+    /// Records a shed batch under `OverflowPolicy::Drop`.
+    pub fn record_dropped(&self, frames: u64) {
+        self.dropped_batches.inc();
+        self.dropped_frames.add(frames);
+    }
+
+    /// The depth gauge, for the sniffer thread to decrement on dequeue.
+    pub fn depth(&self) -> Arc<Gauge> {
+        Arc::clone(&self.depth)
+    }
+}
+
+/// Telemetry handles for the concurrent deployment's channel layer:
+/// per-interface submit/shed accounting plus the flush-barrier latency
+/// histogram. Detector-side series live in the [`AgentTelemetry`] the
+/// coordinator also carries.
+#[derive(Debug, Clone)]
+pub struct ConcurrentTelemetry {
+    outbound: ChannelTelemetry,
+    inbound: ChannelTelemetry,
+    flush_micros: Arc<Histogram>,
+}
+
+impl ConcurrentTelemetry {
+    /// Registers the channel-layer series on the hub.
+    pub fn new(hub: &Telemetry) -> Self {
+        ConcurrentTelemetry {
+            outbound: ChannelTelemetry::new(hub, Direction::Outbound),
+            inbound: ChannelTelemetry::new(hub, Direction::Inbound),
+            flush_micros: hub.registry().histogram("syndog_flush_micros"),
+        }
+    }
+
+    /// The channel series for one interface.
+    pub fn channel(&self, direction: Direction) -> &ChannelTelemetry {
+        match direction {
+            Direction::Outbound => &self.outbound,
+            Direction::Inbound => &self.inbound,
+        }
+    }
+
+    /// Records one flush barrier's round-trip time.
+    pub fn record_flush(&self, micros: u64) {
+        self.flush_micros.record(micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_period_tracks_alarm_transitions() {
+        let hub = Arc::new(Telemetry::new());
+        let mut agent = AgentTelemetry::new(Arc::clone(&hub));
+        let quiet = Detection {
+            period: 0,
+            delta: 0.0,
+            k_average: 1.0,
+            x: 0.0,
+            statistic: 0.0,
+            alarm: false,
+        };
+        let loud = Detection {
+            statistic: 2.0,
+            alarm: true,
+            period: 1,
+            ..quiet
+        };
+        agent.record_period(PeriodSample { syn: 5, synack: 5 }, &quiet, 20.0, 10);
+        agent.record_period(PeriodSample { syn: 50, synack: 5 }, &loud, 40.0, 10);
+        // Still alarming: no second alarm_raised event or counter bump.
+        agent.record_period(
+            PeriodSample { syn: 50, synack: 5 },
+            &Detection { period: 2, ..loud },
+            60.0,
+            10,
+        );
+        agent.record_period(
+            PeriodSample { syn: 5, synack: 5 },
+            &Detection { period: 3, ..quiet },
+            80.0,
+            10,
+        );
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_total("syndog_periods_total"), 4);
+        assert_eq!(snap.counter_total("syndog_syn_total"), 110);
+        assert_eq!(snap.counter_total("syndog_alarms_total"), 1);
+        assert_eq!(snap.gauge("syndog_alarm_active"), Some(0.0));
+        let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds.iter().filter(|k| **k == "alarm_raised").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "alarm_cleared").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| **k == "period_closed").count(), 4);
+    }
+
+    #[test]
+    fn sniffer_sync_publishes_deltas_not_absolutes() {
+        let hub = Arc::new(Telemetry::new());
+        let mut agent = AgentTelemetry::new(Arc::clone(&hub));
+        let mut outbound = Sniffer::new(Direction::Outbound);
+        let inbound = Sniffer::new(Direction::Inbound);
+        outbound.observe_kind(SegmentKind::Syn);
+        outbound.observe_kind(SegmentKind::Syn);
+        agent.sync_sniffers(&outbound, &inbound);
+        // Syncing again without new traffic must not double-count.
+        agent.sync_sniffers(&outbound, &inbound);
+        outbound.observe_kind(SegmentKind::Ack);
+        agent.sync_sniffers(&outbound, &inbound);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter(
+                "syndog_segments_total",
+                &[("interface", "outbound"), ("kind", "syn")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter(
+                "syndog_segments_total",
+                &[("interface", "outbound"), ("kind", "ack")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("syndog_frames_total", &[("interface", "outbound")]),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn channel_telemetry_tracks_depth_and_sheds() {
+        let hub = Telemetry::new();
+        let concurrent = ConcurrentTelemetry::new(&hub);
+        let channel = concurrent.channel(Direction::Outbound);
+        channel.record_submitted(100);
+        channel.record_submitted(50);
+        channel.depth().sub(1.0); // sniffer thread dequeues one
+        channel.record_dropped(25);
+        concurrent.record_flush(42);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter(
+                "syndog_submitted_frames_total",
+                &[("interface", "outbound")]
+            ),
+            Some(150)
+        );
+        assert_eq!(
+            snap.counter("syndog_dropped_frames_total", &[("interface", "outbound")]),
+            Some(25)
+        );
+        assert_eq!(
+            snap.counter("syndog_dropped_batches_total", &[("interface", "outbound")]),
+            Some(1)
+        );
+        let depth = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "syndog_channel_depth")
+            .expect("depth gauge registered");
+        assert_eq!(depth.value, 1.0);
+        let flush = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "syndog_flush_micros")
+            .expect("flush histogram registered");
+        assert_eq!(flush.count, 1);
+        assert_eq!(flush.sum, 42);
+    }
+}

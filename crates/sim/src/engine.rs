@@ -5,8 +5,45 @@
 //! this is how TCP retransmission timers, observation-period ticks and
 //! flood bursts are all expressed.
 
+use std::sync::Arc;
+
+use syndog_telemetry::{Counter, Gauge, Telemetry};
+
 use crate::event::EventQueue;
 use crate::time::{SimDuration, SimTime};
+
+/// Pre-fetched handles for the engine's own series. Updating them is a
+/// few relaxed atomic stores per delivered event; registration happened
+/// at attach time.
+///
+/// | series | type | meaning |
+/// |---|---|---|
+/// | `syndog_sim_events_total` | counter | events delivered to handlers |
+/// | `syndog_sim_queue_depth` | gauge | pending events after the last delivery |
+/// | `syndog_sim_time_secs` | gauge | current simulated clock |
+/// | `syndog_sim_wall_micros_total` | counter | wall time spent inside run loops |
+///
+/// Comparing `syndog_sim_time_secs` against
+/// `syndog_sim_wall_micros_total` gives the simulated-vs-wall speedup.
+#[derive(Debug, Clone)]
+struct SimTelemetry {
+    events: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    sim_time: Arc<Gauge>,
+    wall_micros: Arc<Counter>,
+}
+
+impl SimTelemetry {
+    fn new(hub: &Telemetry) -> Self {
+        let registry = hub.registry();
+        SimTelemetry {
+            events: registry.counter("syndog_sim_events_total"),
+            queue_depth: registry.gauge("syndog_sim_queue_depth"),
+            sim_time: registry.gauge("syndog_sim_time_secs"),
+            wall_micros: registry.counter("syndog_sim_wall_micros_total"),
+        }
+    }
+}
 
 /// Scheduling interface handed to event handlers.
 ///
@@ -79,6 +116,7 @@ impl<E> std::fmt::Debug for Context<'_, E> {
 pub struct Simulator<E> {
     queue: EventQueue<E>,
     now: SimTime,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl<E> Simulator<E> {
@@ -87,7 +125,16 @@ impl<E> Simulator<E> {
         Simulator {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub: run loops report delivered-event counts,
+    /// queue depth, the simulated clock, and wall time spent simulating
+    /// (series `syndog_sim_*`). Purely observational — event order and
+    /// timing are unaffected.
+    pub fn set_telemetry(&mut self, hub: &Telemetry) {
+        self.telemetry = Some(SimTelemetry::new(hub));
     }
 
     /// The current simulated time (the timestamp of the last delivered
@@ -121,6 +168,7 @@ impl<E> Simulator<E> {
     where
         F: FnMut(&mut Context<'_, E>, E),
     {
+        let wall_started = self.telemetry.as_ref().map(|_| std::time::Instant::now());
         let mut stopped = false;
         while let Some(next) = self.queue.peek_time() {
             if next > horizon {
@@ -135,9 +183,19 @@ impl<E> Simulator<E> {
                 stopped: &mut stopped,
             };
             handler(&mut ctx, event);
+            if let Some(telemetry) = &self.telemetry {
+                telemetry.events.inc();
+                telemetry.queue_depth.set(self.queue.len() as f64);
+                telemetry.sim_time.set(time.as_secs_f64());
+            }
             if stopped {
                 break;
             }
+        }
+        if let (Some(telemetry), Some(started)) = (&self.telemetry, wall_started) {
+            telemetry
+                .wall_micros
+                .add(started.elapsed().as_micros() as u64);
         }
     }
 }
@@ -211,6 +269,48 @@ mod tests {
         });
         assert_eq!(seen, 3);
         assert_eq!(sim.pending(), 2);
+    }
+
+    #[test]
+    fn telemetry_tracks_events_depth_and_clock() {
+        let hub = Telemetry::new();
+        let mut sim = Simulator::new();
+        sim.set_telemetry(&hub);
+        for secs in 1..=5u64 {
+            sim.schedule(SimTime::from_secs(secs), secs);
+        }
+        sim.run_until(SimTime::from_secs(3), |_, _| {});
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_total("syndog_sim_events_total"), 3);
+        assert_eq!(snap.gauge("syndog_sim_queue_depth"), Some(2.0));
+        assert_eq!(snap.gauge("syndog_sim_time_secs"), Some(3.0));
+        // Resume: counters accumulate, gauges track the latest state.
+        sim.run(|_, _| {});
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter_total("syndog_sim_events_total"), 5);
+        assert_eq!(snap.gauge("syndog_sim_queue_depth"), Some(0.0));
+        assert_eq!(snap.gauge("syndog_sim_time_secs"), Some(5.0));
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_delivery() {
+        let hub = Telemetry::new();
+        let run = |telemetered: bool| {
+            let mut sim = Simulator::new();
+            if telemetered {
+                sim.set_telemetry(&hub);
+            }
+            sim.schedule(SimTime::ZERO, 0u32);
+            let mut order = Vec::new();
+            sim.run(|ctx, n| {
+                order.push((ctx.now(), n));
+                if n < 5 {
+                    ctx.schedule_in(SimDuration::from_millis(10), n + 1);
+                }
+            });
+            order
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

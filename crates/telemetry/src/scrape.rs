@@ -1,0 +1,106 @@
+//! A std-only Prometheus scrape endpoint.
+//!
+//! No HTTP library exists in this offline workspace, and none is needed:
+//! a scrape is "read the request head, write one `text/plain` body". The
+//! server binds a `TcpListener`, answers every request with the current
+//! Prometheus exposition of its [`Telemetry`], and runs on one detached
+//! thread for the life of the process — exactly the lifetime of the agent
+//! it reports on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::export::render_prometheus;
+use crate::Telemetry;
+
+/// A running scrape endpoint.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (use port 0 to let the OS pick) and starts answering
+    /// scrapes with `telemetry`'s current Prometheus exposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, …).
+    pub fn bind(telemetry: Arc<Telemetry>, addr: &str) -> std::io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One scrape at a time: a metrics endpoint for one agent
+                // has exactly one scraper; serialize rather than spawn.
+                let _ = answer(stream, &telemetry);
+            }
+        });
+        Ok(ScrapeServer { addr: local })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+fn answer(stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    // Drain the request head; the path is irrelevant — every route is
+    // the metrics route.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = render_prometheus(&telemetry.snapshot());
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.registry().counter("syndog_periods_total").add(9);
+        let server = ScrapeServer::bind(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(response.contains("syndog_periods_total 9"), "{response}");
+    }
+
+    #[test]
+    fn scrapes_see_live_updates() {
+        let telemetry = Arc::new(Telemetry::new());
+        let counter = telemetry.registry().counter("ticks");
+        let server = ScrapeServer::bind(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let fetch = || {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            write!(stream, "GET / HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+        assert!(fetch().contains("ticks 0"));
+        counter.add(3);
+        assert!(fetch().contains("ticks 3"));
+    }
+}
