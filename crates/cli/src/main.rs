@@ -3,9 +3,9 @@
 //! ```text
 //! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-//! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
+//! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
 //! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
-//! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--metrics DEST]
+//! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
@@ -23,6 +23,14 @@
 //! snapshot on exit, in the format implied by its extension (`.prom`,
 //! `.jsonl`, `.csv`) or forced by `--metrics-format`. `stats` reads a
 //! JSON Lines dump back and summarizes or re-renders it.
+//!
+//! `detect` and `replay` additionally take the fault/recovery flags:
+//! `--faults SPEC` runs the trace through a seeded [`FaultInjector`]
+//! (detect) or a record-level fault pass (replay); `--checkpoint FILE`
+//! writes a versioned, CRC-checked [`Checkpoint`] of the detector and
+//! router state after the run; `--resume FILE` restores one and
+//! continues the input trace from the checkpoint's period boundary
+//! without re-learning `K̄`.
 
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::process::ExitCode;
@@ -32,8 +40,8 @@ use syndog::{theory, SynDogConfig};
 use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
 use syndog_router::{
-    ConcurrentSynDog, OverflowPolicy, PcapSource, SourceLocator, SynDogAgent, TraceSource,
-    DEFAULT_BATCH_SIZE,
+    Checkpoint, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, OverflowPolicy,
+    PcapSource, SourceLocator, SynDogAgent, TraceSource, DEFAULT_BATCH_SIZE,
 };
 use syndog_sim::{SimDuration, SimRng, SimTime};
 use syndog_telemetry::{export, ExportFormat, ScrapeServer, Telemetry};
@@ -72,9 +80,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-  syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
+  syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
-  syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--metrics DEST] [--metrics-format F]
+  syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
@@ -89,7 +97,18 @@ serves live Prometheus scrapes during the run; any other DEST is a file
 that receives the final snapshot on exit. The format follows the file
 extension (.prom, .jsonl, .csv) unless --metrics-format overrides it.
 stats reads a .jsonl snapshot back and summarizes it (or re-renders it
-with --format).";
+with --format).
+
+detect and replay accept fault/recovery flags. --faults SPEC injects
+seeded, reproducible faults into the run; SPEC is comma-separated
+key=value pairs from drop, dup, truncate, corrupt (probabilities in
+[0,1]), reorder (window size), jitter_ms, and seed — for example
+--faults drop=0.05,reorder=8,seed=7. The run prints a fault ledger
+summary. --checkpoint FILE writes a versioned, CRC-checked snapshot of
+the detector and router state after the run; --resume FILE restores
+one and continues the input trace from the checkpoint's period
+boundary, keeping the learned K. The checkpoint carries the detector
+configuration, so --tuned/--t0 are rejected alongside --resume.";
 
 /// Minimal `--flag value` / `--switch` argument map.
 struct Flags {
@@ -186,6 +205,55 @@ fn stub_flag(flags: &Flags) -> Result<Ipv4Net, String> {
 
 fn victim() -> SocketAddrV4 {
     SocketAddrV4::new(Ipv4Addr::new(199, 0, 0, 80), 80)
+}
+
+/// Parses `--faults SPEC` (`None` when the flag is absent).
+fn faults_flag(flags: &Flags) -> Result<Option<FaultSpec>, String> {
+    match flags.get("faults") {
+        None => Ok(None),
+        Some(raw) => FaultSpec::parse(raw).map(Some),
+    }
+}
+
+fn read_checkpoint(path: &str) -> Result<Checkpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
+    Checkpoint::from_json(&text).map_err(|e| format!("read checkpoint {path}: {e}"))
+}
+
+fn write_checkpoint(checkpoint: &Checkpoint, path: &str) -> Result<(), String> {
+    std::fs::write(path, checkpoint.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote checkpoint to {path}");
+    Ok(())
+}
+
+/// A checkpoint restores onto the period boundary `k` it was captured
+/// at; `--resume` always rejects the detector-shape flags because the
+/// checkpoint itself carries the configuration the restored run must
+/// keep using.
+fn reject_config_flags_on_resume(flags: &Flags) -> Result<(), String> {
+    if flags.has("tuned") || flags.get("t0").is_some() {
+        return Err("--resume restores the checkpoint's detector config; drop --tuned/--t0".into());
+    }
+    Ok(())
+}
+
+/// The part of `trace` a checkpoint taken at period boundary `k` has not
+/// yet covered: records from `k * period` on, with the duration
+/// shortened to match so the restored forward-only period clock closes
+/// exactly the remaining periods.
+fn resume_tail(trace: &Trace, k: u64, period: SimDuration) -> Trace {
+    let cut = SimTime::ZERO + period * k;
+    let records = trace
+        .records()
+        .iter()
+        .filter(|r| r.time >= cut)
+        .copied()
+        .collect();
+    let remaining = trace
+        .duration()
+        .as_micros()
+        .saturating_sub(period.as_micros() * k);
+    Trace::from_records(records, SimDuration::from_micros(remaining))
 }
 
 /// Where `--metrics DEST` sends telemetry: a socket address serves live
@@ -314,15 +382,45 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["tuned", "verbose"])?;
     let stub = stub_flag(&flags)?;
     let trace = read_trace(flags.require("in")?, stub)?;
-    let config = detect_config(&flags)?;
+    let faults = faults_flag(&flags)?;
     let hub = Arc::new(Telemetry::new());
     let sink = metrics_sink(&flags, &hub)?;
-    let mut agent = SynDogAgent::new(stub, config);
+    let (mut agent, trace) = match flags.get("resume") {
+        Some(path) => {
+            reject_config_flags_on_resume(&flags)?;
+            let checkpoint = read_checkpoint(path)?;
+            let agent =
+                SynDogAgent::restore(&checkpoint).map_err(|e| format!("restore {path}: {e}"))?;
+            let k = agent.router().current_period();
+            println!("resumed from {path} at period {k}");
+            let tail = resume_tail(&trace, k, agent.router().period());
+            (agent, tail)
+        }
+        None => (SynDogAgent::new(stub, detect_config(&flags)?), trace),
+    };
+    let config = *agent.detector().config();
     if sink.is_some() {
         agent.set_telemetry(Arc::clone(&hub));
     }
-    agent.run_trace(&trace);
+    match faults {
+        Some(spec) => {
+            let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+            if sink.is_some() {
+                injector = injector.with_telemetry(FaultTelemetry::new(&hub));
+            }
+            agent
+                .run_source(&mut injector)
+                .map_err(|e| format!("detect: {e}"))?;
+            println!("faults: {}", injector.ledger().summary());
+        }
+        None => {
+            agent.run_trace(&trace);
+        }
+    }
     print_detection_report(&agent, &config, flags.has("verbose"));
+    if let Some(path) = flags.get("checkpoint") {
+        write_checkpoint(&agent.checkpoint(), path)?;
+    }
     match sink {
         Some(sink) => sink.finish(&hub),
         None => Ok(()),
@@ -405,18 +503,50 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     } else {
         OverflowPolicy::Block
     };
-    let config = detect_config(&flags)?;
-    let period = SimDuration::from_secs_f64(config.observation_period_secs);
+    let (trace, fault_ledger) = match faults_flag(&flags)? {
+        Some(spec) => {
+            let (faulted, ledger) = spec.apply_to_trace(&trace);
+            if sink.is_some() {
+                FaultTelemetry::new(&hub).sync(&ledger);
+            }
+            (faulted, Some(ledger))
+        }
+        None => (trace, None),
+    };
+    let mut dog = match flags.get("resume") {
+        Some(path) => {
+            reject_config_flags_on_resume(&flags)?;
+            let checkpoint = read_checkpoint(path)?;
+            let dog = ConcurrentSynDog::resume(
+                &checkpoint,
+                capacity,
+                policy,
+                sink.is_some().then(|| Arc::clone(&hub)),
+            )
+            .map_err(|e| format!("restore {path}: {e}"))?;
+            println!(
+                "resumed from {path} at period {}",
+                dog.router().current_period()
+            );
+            dog
+        }
+        None => {
+            let config = detect_config(&flags)?;
+            if sink.is_some() {
+                ConcurrentSynDog::with_telemetry(config, capacity, policy, Arc::clone(&hub))
+            } else {
+                ConcurrentSynDog::with_policy(config, capacity, policy)
+            }
+        }
+    };
+    let period = dog.router().period();
     let total_periods = trace
         .duration()
         .as_micros()
         .div_ceil(period.as_micros())
-        .max(1);
-    let mut dog = if sink.is_some() {
-        ConcurrentSynDog::with_telemetry(config, capacity, policy, Arc::clone(&hub))
-    } else {
-        ConcurrentSynDog::with_policy(config, capacity, policy)
-    };
+        .max(1)
+        .max(dog.router().current_period());
+    let start_period = dog.router().current_period();
 
     fn submit_pending(
         dog: &ConcurrentSynDog,
@@ -434,9 +564,12 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 
     let mut pending_out: Vec<TraceRecord> = Vec::with_capacity(batch_size);
     let mut pending_in: Vec<TraceRecord> = Vec::with_capacity(batch_size);
-    let mut current_period = 0u64;
+    let mut current_period = start_period;
     for record in trace.records() {
         let p = record.time.period_index(period).min(total_periods);
+        if p < start_period {
+            continue; // already covered by the resumed checkpoint
+        }
         while current_period < p {
             submit_pending(&dog, Direction::Outbound, &mut pending_out)?;
             submit_pending(&dog, Direction::Inbound, &mut pending_in)?;
@@ -464,13 +597,20 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         current_period += 1;
     }
 
+    if let Some(ledger) = &fault_ledger {
+        println!("faults: {}", ledger.summary());
+    }
+    if let Some(path) = flags.get("checkpoint") {
+        write_checkpoint(&dog.checkpoint(), path)?;
+    }
     let alarms = dog.detections().iter().filter(|d| d.alarm).count();
     let first_alarm = dog.detections().iter().find(|d| d.alarm).copied();
     let dropped_frames = dog.dropped_frames();
     let dropped_batches = dog.dropped_batches();
     let (out_frames, in_frames) = dog.shutdown();
     println!(
-        "replayed {total_periods} periods through 2 sniffer threads: {out_frames} outbound / {in_frames} inbound frames (batch size {batch_size}, capacity {capacity})"
+        "replayed {} periods through 2 sniffer threads: {out_frames} outbound / {in_frames} inbound frames (batch size {batch_size}, capacity {capacity})",
+        total_periods - start_period
     );
     if dropped_batches > 0 {
         println!("overflow shed {dropped_batches} batches / {dropped_frames} frames");
@@ -800,6 +940,151 @@ mod tests {
             "0"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn fault_and_checkpoint_flags_round_trip() {
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(300),
+            victim(),
+        );
+        trace.merge(&flood.generate_trace(&mut rng));
+        let stub = site.stub().to_string();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let trace_path = path("syndog_test_faultcli.bin");
+        write_trace(&trace, &trace_path).unwrap();
+
+        // The head of the trace as its own capture: checkpoint there,
+        // then resume over the full trace picks up from that boundary.
+        let period =
+            SimDuration::from_secs_f64(SynDogConfig::paper_default().observation_period_secs);
+        let head = {
+            let cut = SimTime::ZERO + period * 5;
+            let records: Vec<TraceRecord> = trace
+                .records()
+                .iter()
+                .filter(|r| r.time < cut)
+                .copied()
+                .collect();
+            Trace::from_records(records, period * 5)
+        };
+        let head_path = path("syndog_test_faultcli_head.bin");
+        write_trace(&head, &head_path).unwrap();
+
+        // Faulted detect runs end to end and prints its ledger.
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--faults",
+            "drop=0.05,reorder=8,seed=7",
+        ]))
+        .unwrap();
+
+        // detect: checkpoint at the head boundary, resume the full trace.
+        let ck = path("syndog_test_faultcli.ck.json");
+        cmd_detect(&args(&[
+            "--in",
+            &head_path,
+            "--stub",
+            &stub,
+            "--checkpoint",
+            &ck,
+        ]))
+        .unwrap();
+        let saved = read_checkpoint(&ck).unwrap();
+        assert_eq!(saved.current_period, 5);
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck,
+        ]))
+        .unwrap();
+
+        // replay: faulted run, checkpoint at the head, resume the rest.
+        let ck2 = path("syndog_test_faultcli.ck2.json");
+        cmd_replay(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--faults",
+            "drop=0.05,seed=7",
+        ]))
+        .unwrap();
+        cmd_replay(&args(&[
+            "--in",
+            &head_path,
+            "--stub",
+            &stub,
+            "--checkpoint",
+            &ck2,
+        ]))
+        .unwrap();
+        cmd_replay(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck2,
+        ]))
+        .unwrap();
+
+        // Misuse fails loudly.
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--faults",
+            "bogus=1"
+        ]))
+        .is_err());
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            "/nonexistent/syndog.ck"
+        ]))
+        .is_err());
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck,
+            "--tuned"
+        ]))
+        .is_err());
+        assert!(cmd_replay(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck2,
+            "--t0",
+            "10"
+        ]))
+        .is_err());
+
+        for p in [&trace_path, &head_path, &ck, &ck2] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

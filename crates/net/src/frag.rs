@@ -137,12 +137,30 @@ struct FragmentKey {
     identification: u16,
 }
 
+/// The largest payload an IPv4 datagram can carry: `total_len` is a u16,
+/// so no legitimate fragment can place bytes at or beyond 65 535.
+pub const MAX_DATAGRAM_PAYLOAD: usize = 65_535;
+
+/// Cap on buffered pieces per in-progress train. A legitimate worst case
+/// is a maximal datagram in minimal 8-byte fragments (65 535 / 8 → 8 192
+/// pieces); anything beyond that is a duplicate/overlap flood attacking
+/// the reassembler's memory, not a reassemblable datagram.
+pub const MAX_FRAGMENTS_PER_DATAGRAM: usize = 8_192;
+
+/// Cap on buffered payload bytes per in-progress train: twice the
+/// maximum datagram payload, which admits every legitimate retransmit
+/// pattern while bounding a duplicate-fragment flood.
+pub const MAX_BUFFERED_BYTES_PER_DATAGRAM: usize = 2 * MAX_DATAGRAM_PAYLOAD;
+
 #[derive(Debug, Clone)]
 struct PartialDatagram {
     /// (offset_bytes, payload) pieces, unordered.
     pieces: Vec<(usize, Vec<u8>)>,
     /// Total payload length, known once the MF=0 fragment arrives.
     total_len: Option<usize>,
+    /// Buffered payload bytes across `pieces` (duplicates included), for
+    /// the per-train memory cap.
+    bytes: usize,
     first_seen_micros: u64,
 }
 
@@ -157,6 +175,9 @@ pub struct Reassembler {
     partial: HashMap<FragmentKey, PartialDatagram>,
     timeout_micros: u64,
     max_datagrams: usize,
+    evicted_timeout: u64,
+    evicted_capacity: u64,
+    evicted_oversize: u64,
 }
 
 impl Reassembler {
@@ -172,12 +193,45 @@ impl Reassembler {
             partial: HashMap::new(),
             timeout_micros,
             max_datagrams,
+            evicted_timeout: 0,
+            evicted_capacity: 0,
+            evicted_oversize: 0,
         }
     }
 
     /// Number of in-progress datagrams.
     pub fn pending(&self) -> usize {
         self.partial.len()
+    }
+
+    /// Payload bytes currently buffered across every in-progress train.
+    /// Bounded by `max_datagrams * `[`MAX_BUFFERED_BYTES_PER_DATAGRAM`].
+    pub fn pending_bytes(&self) -> usize {
+        self.partial.values().map(|d| d.bytes).sum()
+    }
+
+    /// Trains evicted for any reason (timeout, capacity pressure, or a
+    /// per-train size cap) since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evicted_timeout + self.evicted_capacity + self.evicted_oversize
+    }
+
+    /// Trains evicted because they outlived the timeout.
+    pub fn evicted_timeout(&self) -> u64 {
+        self.evicted_timeout
+    }
+
+    /// Trains evicted oldest-first to admit a new train at capacity.
+    pub fn evicted_capacity(&self) -> u64 {
+        self.evicted_capacity
+    }
+
+    /// Trains evicted for exceeding a per-train cap
+    /// ([`MAX_FRAGMENTS_PER_DATAGRAM`], [`MAX_BUFFERED_BYTES_PER_DATAGRAM`])
+    /// or claiming bytes beyond [`MAX_DATAGRAM_PAYLOAD`] — duplicate or
+    /// oversize fragment floods.
+    pub fn evicted_oversize(&self) -> u64 {
+        self.evicted_oversize
     }
 
     /// Offers one fragment (a complete IPv4 packet, no link layer) at
@@ -203,18 +257,38 @@ impl Reassembler {
             protocol: header.protocol,
             identification: header.identification,
         };
+        let offset = usize::from(header.fragment_offset) * 8;
+        // A fragment claiming bytes past the maximum datagram size cannot
+        // belong to a reassemblable packet: poison the whole train rather
+        // than buffer it.
+        if offset + payload.len() > MAX_DATAGRAM_PAYLOAD {
+            if self.partial.remove(&key).is_some() {
+                self.evicted_oversize += 1;
+            }
+            return Ok(None);
+        }
         if !self.partial.contains_key(&key) && self.partial.len() >= self.max_datagrams {
             self.drop_oldest();
         }
         let entry = self.partial.entry(key).or_insert(PartialDatagram {
             pieces: Vec::new(),
             total_len: None,
+            bytes: 0,
             first_seen_micros: now_micros,
         });
-        let offset = usize::from(header.fragment_offset) * 8;
         entry.pieces.push((offset, payload.to_vec()));
+        entry.bytes += payload.len();
         if !header.more_fragments {
             entry.total_len = Some(offset + payload.len());
+        }
+        // Per-train caps: a duplicate-fragment flood on one key must not
+        // grow memory without bound even while the key count stays at 1.
+        if entry.pieces.len() > MAX_FRAGMENTS_PER_DATAGRAM
+            || entry.bytes > MAX_BUFFERED_BYTES_PER_DATAGRAM
+        {
+            self.partial.remove(&key);
+            self.evicted_oversize += 1;
+            return Ok(None);
         }
         // Completion check: total known and every byte covered.
         let Some(total) = entry.total_len else {
@@ -254,8 +328,10 @@ impl Reassembler {
 
     fn expire(&mut self, now_micros: u64) {
         let timeout = self.timeout_micros;
+        let before = self.partial.len();
         self.partial
             .retain(|_, d| now_micros.saturating_sub(d.first_seen_micros) < timeout);
+        self.evicted_timeout += (before - self.partial.len()) as u64;
     }
 
     fn drop_oldest(&mut self) {
@@ -266,6 +342,7 @@ impl Reassembler {
             .map(|(k, _)| *k)
         {
             self.partial.remove(&key);
+            self.evicted_capacity += 1;
         }
     }
 }
@@ -433,6 +510,85 @@ mod tests {
             completed |= reassembler.offer(fragment, 2_000).unwrap().is_some();
         }
         assert!(!completed, "expired train must not complete");
+        assert_eq!(reassembler.evicted_timeout(), 1);
+        assert_eq!(reassembler.evictions(), 1);
+    }
+
+    /// A first fragment (MF=1) with a per-train identification.
+    fn opening_fragment(identification: u16, payload_len: usize) -> Vec<u8> {
+        let packet = syn_packet(100);
+        let (mut h, p) = Ipv4Header::decode(&packet, false).unwrap();
+        h.identification = identification;
+        h.more_fragments = true;
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes).unwrap();
+        bytes.extend_from_slice(&p[..payload_len.min(p.len())]);
+        bytes
+    }
+
+    #[test]
+    fn distinct_train_flood_holds_memory_constant() {
+        // 10k never-completing trains against a capacity-16 reassembler:
+        // the map must stay at 16 entries and account for every eviction.
+        const CAPACITY: usize = 16;
+        let mut reassembler = Reassembler::new(1_000_000, CAPACITY);
+        let mut max_pending = 0;
+        let mut max_pending_bytes = 0;
+        for i in 0..10_000u16 {
+            reassembler.offer(&opening_fragment(i, 64), 0).unwrap();
+            max_pending = max_pending.max(reassembler.pending());
+            max_pending_bytes = max_pending_bytes.max(reassembler.pending_bytes());
+        }
+        assert_eq!(max_pending, CAPACITY);
+        assert!(
+            max_pending_bytes <= CAPACITY * 64,
+            "buffered bytes {max_pending_bytes}"
+        );
+        assert_eq!(reassembler.evicted_capacity(), 10_000 - CAPACITY as u64);
+        assert_eq!(reassembler.evictions(), reassembler.evicted_capacity());
+    }
+
+    #[test]
+    fn duplicate_fragment_flood_on_one_key_is_bounded() {
+        // The key count stays at 1, so the capacity cap never fires; the
+        // per-train byte cap must bound the buffered pieces instead.
+        let mut reassembler = Reassembler::new(1_000_000, 16);
+        let fragment = opening_fragment(7, 96);
+        let mut max_pending_bytes = 0;
+        for _ in 0..10_000 {
+            let out = reassembler.offer(&fragment, 0).unwrap();
+            assert!(out.is_none(), "the train never completes");
+            max_pending_bytes = max_pending_bytes.max(reassembler.pending_bytes());
+        }
+        assert!(reassembler.pending() <= 1);
+        assert!(
+            max_pending_bytes <= MAX_BUFFERED_BYTES_PER_DATAGRAM,
+            "buffered bytes {max_pending_bytes}"
+        );
+        assert!(
+            reassembler.evicted_oversize() >= 5,
+            "oversize evictions {}",
+            reassembler.evicted_oversize()
+        );
+    }
+
+    #[test]
+    fn fragment_past_max_datagram_size_poisons_its_train() {
+        let mut reassembler = Reassembler::new(1_000_000, 16);
+        reassembler.offer(&opening_fragment(3, 64), 0).unwrap();
+        assert_eq!(reassembler.pending(), 1);
+        // Same train, offset beyond what any u16 total_len can describe.
+        let packet = syn_packet(100);
+        let (mut h, p) = Ipv4Header::decode(&packet, false).unwrap();
+        h.identification = 3;
+        h.more_fragments = true;
+        h.fragment_offset = 8_191; // 65 528 bytes in; 64-byte payload overruns
+        let mut bytes = Vec::new();
+        h.encode(&mut bytes).unwrap();
+        bytes.extend_from_slice(&p[..64]);
+        assert!(reassembler.offer(&bytes, 0).unwrap().is_none());
+        assert_eq!(reassembler.pending(), 0, "poisoned train removed");
+        assert_eq!(reassembler.evicted_oversize(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use syndog_sim::{SimDuration, SimTime};
 use syndog_telemetry::Telemetry;
 use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::router::LeafRouter;
 use crate::source::{FrameSource, TraceSource};
 use crate::telemetry::AgentTelemetry;
@@ -38,6 +39,11 @@ pub struct SynDogAgent {
     detections: Vec<Detection>,
     alarms: Vec<Alarm>,
     telemetry: Option<AgentTelemetry>,
+    /// Absolute period index of the detector's period 0. The detector's
+    /// own indices restart at 0 on [`SynDogAgent::reset_detection`] while
+    /// the router clock keeps running; alarm timestamps must use
+    /// `period_base + detection.period` or they dilate after a reset.
+    period_base: u64,
 }
 
 impl SynDogAgent {
@@ -51,6 +57,7 @@ impl SynDogAgent {
             detections: Vec::new(),
             alarms: Vec::new(),
             telemetry: None,
+            period_base: 0,
         }
     }
 
@@ -94,30 +101,44 @@ impl SynDogAgent {
         self.alarms.first().copied()
     }
 
+    /// Absolute period index the detector's period 0 corresponds to
+    /// (nonzero after [`SynDogAgent::reset_detection`] or a checkpoint
+    /// restore).
+    pub fn period_base(&self) -> u64 {
+        self.period_base
+    }
+
     /// Feeds one pre-aggregated period sample directly to the detector
     /// (bypassing the router), for count-level experiments.
     pub fn observe_period(&mut self, sample: PeriodSample) -> Detection {
-        let close_started = std::time::Instant::now();
+        // Timing is telemetry-only: keep the bare hot path syscall-free.
+        let close_started = self.telemetry.is_some().then(std::time::Instant::now);
         let detection = self.detector.observe(PeriodCounts {
             syn: sample.syn,
             synack: sample.synack,
         });
+        // Alarm timestamps are router time, not detector time: offset the
+        // detector's (resettable) period index by the base.
+        let absolute_period = self.period_base + detection.period;
         if detection.alarm {
             let period_len = self.router.period();
             self.alarms.push(Alarm {
                 period: detection.period,
-                time: SimTime::ZERO + period_len * (detection.period + 1),
+                time: SimTime::ZERO + period_len * (absolute_period + 1),
                 statistic: detection.statistic,
             });
         }
         self.detections.push(detection);
         if let Some(telemetry) = &mut self.telemetry {
-            let end_secs = self.router.period().as_secs_f64() * (detection.period + 1) as f64;
+            let end_secs = self.router.period().as_secs_f64() * (absolute_period + 1) as f64;
             telemetry.record_period(
                 sample,
                 &detection,
                 end_secs,
-                close_started.elapsed().as_micros() as u64,
+                close_started
+                    .expect("timer started whenever telemetry is attached")
+                    .elapsed()
+                    .as_micros() as u64,
             );
             telemetry.sync_sniffers(
                 self.router.sniffer(Direction::Outbound),
@@ -167,11 +188,47 @@ impl SynDogAgent {
     }
 
     /// Resets detector state and alarm history (the router's period clock
-    /// continues; counters are already period-scoped).
+    /// continues; counters are already period-scoped). The period base
+    /// advances so future alarm timestamps remain in router time.
     pub fn reset_detection(&mut self) {
+        self.period_base += self.detector.periods_observed();
         self.detector.reset();
         self.detections.clear();
         self.alarms.clear();
+    }
+
+    /// Captures the agent's full detection state — detector (learned `K̄`,
+    /// CUSUM statistic), router period clock, pending sniffer counts,
+    /// detection series and alarms — as a [`Checkpoint`]. Restoring it
+    /// with [`SynDogAgent::restore`] and feeding the remainder of a trace
+    /// reproduces an uninterrupted run exactly.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(
+            &self.router,
+            self.period_base,
+            &self.detector,
+            &self.detections,
+            &self.alarms,
+        )
+    }
+
+    /// Rebuilds an agent from a [`Checkpoint`]. Telemetry is not part of
+    /// the checkpoint; attach a hub afterwards if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::InvalidState`] when the checkpoint's
+    /// router state is unusable (bad stub prefix, zero period, wrong
+    /// per-kind tally arity).
+    pub fn restore(checkpoint: &Checkpoint) -> Result<SynDogAgent, CheckpointError> {
+        Ok(SynDogAgent {
+            router: checkpoint.restore_router()?,
+            detector: checkpoint.detector.clone(),
+            detections: checkpoint.detections.clone(),
+            alarms: checkpoint.alarms.iter().map(|a| a.to_alarm()).collect(),
+            telemetry: None,
+            period_base: checkpoint.period_base,
+        })
     }
 }
 
@@ -364,6 +421,68 @@ mod tests {
         assert!(agent.alarms().is_empty());
         assert!(agent.detections().is_empty());
         assert_eq!(agent.detector().periods_observed(), 0);
+    }
+
+    #[test]
+    fn alarm_time_stays_in_router_time_after_reset() {
+        // Regression: Alarm::time was computed from the detector's period
+        // index alone, so after reset_detection() (detector restarts at
+        // period 0, router clock keeps running) alarm timestamps snapped
+        // back to the start of the trace.
+        let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
+        let quiet = PeriodSample {
+            syn: 100,
+            synack: 100,
+        };
+        agent.observe_period(quiet);
+        agent.observe_period(quiet);
+        agent.reset_detection();
+        assert_eq!(agent.period_base(), 2);
+        agent.observe_period(quiet);
+        let d = agent.observe_period(PeriodSample {
+            syn: 400,
+            synack: 100,
+        });
+        assert!(d.alarm);
+        let alarm = agent.first_alarm().unwrap();
+        // Detector-relative index restarts…
+        assert_eq!(alarm.period, 1);
+        // …but the timestamp is the end of absolute period 3 (20s each):
+        // 4 periods into the run, not 2.
+        assert_eq!(alarm.time, SimTime::from_secs(80));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_agent_state() {
+        let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
+        agent.observe_period(PeriodSample {
+            syn: 100,
+            synack: 100,
+        });
+        agent.observe_period(PeriodSample {
+            syn: 400,
+            synack: 100,
+        });
+        let checkpoint = agent.checkpoint();
+        let json = checkpoint.to_json();
+        let parsed = Checkpoint::from_json(&json).unwrap();
+        let restored = SynDogAgent::restore(&parsed).unwrap();
+        assert_eq!(restored.detections(), agent.detections());
+        assert_eq!(restored.alarms(), agent.alarms());
+        assert_eq!(restored.period_base(), agent.period_base());
+        assert_eq!(restored.detector(), agent.detector());
+        assert_eq!(
+            restored.router().current_period(),
+            agent.router().current_period()
+        );
+        assert_eq!(restored.router().stub(), agent.router().stub());
+        assert_eq!(restored.router().period(), agent.router().period());
+        assert_eq!(
+            restored.router().sniffer(Direction::Outbound),
+            agent.router().sniffer(Direction::Outbound)
+        );
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! Versioned, checksummed checkpoint/restore of detection state.
+//!
+//! A SYN-dog agent learns continuously: the SYN/ACK EWMA `K̄` takes many
+//! periods to converge, and the CUSUM statistic `y_n` carries the whole
+//! attack history. A router that restarts mid-attack must not re-learn
+//! either — §3.1's normalization is only as good as the `K̄` behind it.
+//! [`Checkpoint`] captures everything the detection pipeline needs to
+//! resume exactly where it stopped:
+//!
+//! - the detector ([`SynDogDetector`]: config, `K̄` estimator, CUSUM
+//!   statistic, period count),
+//! - the router's period clock and stub prefix,
+//! - both sniffers' pending (`syn`/`synack` since the last period close)
+//!   and lifetime counters,
+//! - the recorded detection series and alarms, plus the agent's
+//!   period-index base.
+//!
+//! # Wire format
+//!
+//! A checkpoint file is a JSON envelope:
+//!
+//! ```json
+//! {"magic":"syndog-checkpoint","version":1,"crc32":3735928559,"payload":"{…}"}
+//! ```
+//!
+//! The `payload` string is the serialized [`Checkpoint`]; `crc32` is the
+//! IEEE CRC-32 of the payload's UTF-8 bytes. Rules, in validation order:
+//!
+//! 1. `magic` must be exactly `syndog-checkpoint` ([`CheckpointError::BadMagic`]),
+//! 2. `version` must be a version this build understands — currently only
+//!    [`CHECKPOINT_VERSION`] ([`CheckpointError::UnsupportedVersion`]);
+//!    any payload-schema change bumps the version,
+//! 3. `crc32` must match the payload bytes ([`CheckpointError::CrcMismatch`]) —
+//!    a truncated or hand-edited file fails closed rather than restoring
+//!    half a detector.
+//!
+//! The round-trip guarantee (checkpoint at period `k`, restore, feed the
+//! rest of the trace → detections identical to an uninterrupted run) is
+//! exercised in `tests/faults.rs`.
+
+use syndog::{Detection, SynDogDetector};
+use syndog_net::{Ipv4Net, SegmentKind};
+use syndog_sim::{SimDuration, SimTime};
+use syndog_traffic::trace::Direction;
+
+use serde::{Deserialize, Serialize};
+
+use crate::agent::Alarm;
+use crate::router::LeafRouter;
+use crate::sniffer::Sniffer;
+
+/// The checkpoint payload schema version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The envelope magic string.
+const MAGIC: &str = "syndog-checkpoint";
+
+/// IEEE CRC-32 (reflected, polynomial `0xEDB88320`) — the same checksum
+/// pcap tooling and zlib use, implemented bitwise to stay dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a checkpoint could not be parsed or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The file is not valid JSON or not a checkpoint envelope/payload.
+    Malformed(String),
+    /// The envelope magic is wrong — not a checkpoint file at all.
+    BadMagic(String),
+    /// The envelope's schema version is one this build does not read.
+    UnsupportedVersion(u32),
+    /// The payload bytes do not match the envelope checksum.
+    CrcMismatch {
+        /// The checksum the envelope claims.
+        expected: u32,
+        /// The checksum the payload actually has.
+        actual: u32,
+    },
+    /// The payload parsed but describes an unusable state.
+    InvalidState(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+            CheckpointError::BadMagic(found) => {
+                write!(f, "not a checkpoint file (magic `{found}`, want `{MAGIC}`)")
+            }
+            CheckpointError::UnsupportedVersion(version) => write!(
+                f,
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::CrcMismatch { expected, actual } => write!(
+                f,
+                "checkpoint CRC mismatch: envelope says {expected:#010x}, payload is {actual:#010x}"
+            ),
+            CheckpointError::InvalidState(why) => write!(f, "invalid checkpoint state: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One sniffer's counters, captured for restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnifferState {
+    /// Pending SYN count (since the last period close).
+    pub syn: u64,
+    /// Pending SYN/ACK count.
+    pub synack: u64,
+    /// Lifetime frames seen.
+    pub frames_seen: u64,
+    /// Lifetime malformed frames.
+    pub malformed: u64,
+    /// Lifetime per-[`SegmentKind`] tallies, in [`SegmentKind::ALL`]
+    /// order. A `Vec` on the wire so the arity is validated on restore
+    /// rather than assumed.
+    pub kinds: Vec<u64>,
+}
+
+impl SnifferState {
+    /// Captures a sniffer's counters.
+    pub fn capture(sniffer: &Sniffer) -> Self {
+        SnifferState {
+            syn: sniffer.syn_count(),
+            synack: sniffer.synack_count(),
+            frames_seen: sniffer.frames_seen(),
+            malformed: sniffer.malformed(),
+            kinds: SegmentKind::ALL
+                .iter()
+                .map(|&k| sniffer.kind_count(k))
+                .collect(),
+        }
+    }
+
+    fn restore_into(&self, sniffer: &mut Sniffer) -> Result<(), CheckpointError> {
+        let kinds: [u64; SegmentKind::ALL.len()] =
+            self.kinds.as_slice().try_into().map_err(|_| {
+                CheckpointError::InvalidState(format!(
+                    "sniffer kind tallies: got {} entries, want {}",
+                    self.kinds.len(),
+                    SegmentKind::ALL.len()
+                ))
+            })?;
+        sniffer.restore_counts(
+            self.syn,
+            self.synack,
+            self.frames_seen,
+            self.malformed,
+            kinds,
+        );
+        Ok(())
+    }
+}
+
+/// A recorded alarm, flattened to serializable primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlarmState {
+    /// Detector-relative period index.
+    pub period: u64,
+    /// Alarm time in simulated microseconds.
+    pub time_micros: u64,
+    /// The CUSUM statistic that crossed.
+    pub statistic: f64,
+}
+
+impl AlarmState {
+    /// Captures an [`Alarm`].
+    pub fn from_alarm(alarm: &Alarm) -> Self {
+        AlarmState {
+            period: alarm.period,
+            time_micros: alarm.time.as_micros(),
+            statistic: alarm.statistic,
+        }
+    }
+
+    /// Rebuilds the [`Alarm`].
+    pub fn to_alarm(&self) -> Alarm {
+        Alarm {
+            period: self.period,
+            time: SimTime::from_micros(self.time_micros),
+            statistic: self.statistic,
+        }
+    }
+}
+
+/// The complete captured state of a detection pipeline (see the
+/// [module docs](crate::checkpoint) for what is covered and why).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The router's stub prefix, in CIDR notation.
+    pub stub: String,
+    /// The observation period `t0`, in microseconds.
+    pub period_micros: u64,
+    /// Absolute index of the period the router is accumulating.
+    pub current_period: u64,
+    /// Absolute period index of the detector's period 0.
+    pub period_base: u64,
+    /// The outbound sniffer's counters.
+    pub outbound: SnifferState,
+    /// The inbound sniffer's counters.
+    pub inbound: SnifferState,
+    /// The detector: config, learned `K̄`, CUSUM statistic, period count.
+    pub detector: SynDogDetector,
+    /// The per-period detection series recorded so far.
+    pub detections: Vec<Detection>,
+    /// The alarms raised so far.
+    pub alarms: Vec<AlarmState>,
+}
+
+/// The on-disk envelope around a serialized [`Checkpoint`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope {
+    magic: String,
+    version: u32,
+    crc32: u32,
+    payload: String,
+}
+
+impl Checkpoint {
+    /// Captures a detection pipeline's state.
+    pub fn capture(
+        router: &LeafRouter,
+        period_base: u64,
+        detector: &SynDogDetector,
+        detections: &[Detection],
+        alarms: &[Alarm],
+    ) -> Self {
+        Checkpoint {
+            stub: router.stub().to_string(),
+            period_micros: router.period().as_micros(),
+            current_period: router.current_period(),
+            period_base,
+            outbound: SnifferState::capture(router.sniffer(Direction::Outbound)),
+            inbound: SnifferState::capture(router.sniffer(Direction::Inbound)),
+            detector: detector.clone(),
+            detections: detections.to_vec(),
+            alarms: alarms.iter().map(AlarmState::from_alarm).collect(),
+        }
+    }
+
+    /// Rebuilds the [`LeafRouter`] this checkpoint describes: stub,
+    /// period clock position, and both sniffers' counters.
+    pub(crate) fn restore_router(&self) -> Result<LeafRouter, CheckpointError> {
+        let stub: Ipv4Net = self.stub.parse().map_err(|_| {
+            CheckpointError::InvalidState(format!("bad stub prefix `{}`", self.stub))
+        })?;
+        if self.period_micros == 0 {
+            return Err(CheckpointError::InvalidState(
+                "zero observation period".to_string(),
+            ));
+        }
+        let mut router = LeafRouter::new(stub, SimDuration::from_micros(self.period_micros));
+        router.set_current_period(self.current_period);
+        self.outbound
+            .restore_into(router.sniffer_mut(Direction::Outbound))?;
+        self.inbound
+            .restore_into(router.sniffer_mut(Direction::Inbound))?;
+        Ok(router)
+    }
+
+    /// Serializes to the versioned, checksummed JSON envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector state holds non-finite floats — impossible
+    /// for states produced by the detector itself (`y_n` and `K̄` are
+    /// finite by construction).
+    pub fn to_json(&self) -> String {
+        let payload = serde_json::to_string(self)
+            .expect("checkpoint state is finite-valued and serializable");
+        let envelope = Envelope {
+            magic: MAGIC.to_string(),
+            version: CHECKPOINT_VERSION,
+            crc32: crc32(payload.as_bytes()),
+            payload,
+        };
+        serde_json::to_string(&envelope).expect("envelope is serializable")
+    }
+
+    /// Parses and validates a JSON envelope (magic, then version, then
+    /// CRC, then payload — see the [module docs](crate::checkpoint)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CheckpointError`] for the first failed validation.
+    pub fn from_json(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let envelope: Envelope = serde_json::from_str(text)
+            .map_err(|err| CheckpointError::Malformed(format!("envelope: {err:?}")))?;
+        if envelope.magic != MAGIC {
+            return Err(CheckpointError::BadMagic(envelope.magic));
+        }
+        if envelope.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(envelope.version));
+        }
+        let actual = crc32(envelope.payload.as_bytes());
+        if actual != envelope.crc32 {
+            return Err(CheckpointError::CrcMismatch {
+                expected: envelope.crc32,
+                actual,
+            });
+        }
+        serde_json::from_str(&envelope.payload)
+            .map_err(|err| CheckpointError::Malformed(format!("payload: {err:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use syndog::SynDogConfig;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut detector = SynDogDetector::new(SynDogConfig::paper_default());
+        for _ in 0..5 {
+            detector.observe(syndog::PeriodCounts {
+                syn: 100,
+                synack: 98,
+            });
+        }
+        let mut router =
+            LeafRouter::new("10.1.0.0/16".parse().unwrap(), SimDuration::from_secs(20));
+        router
+            .sniffer_mut(Direction::Outbound)
+            .observe_kind(SegmentKind::Syn);
+        router.set_current_period(5);
+        Checkpoint::capture(&router, 0, &detector, &[], &[])
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let checkpoint = sample_checkpoint();
+        let json = checkpoint.to_json();
+        let parsed = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(parsed, checkpoint);
+        let router = parsed.restore_router().unwrap();
+        assert_eq!(router.current_period(), 5);
+        assert_eq!(router.sniffer(Direction::Outbound).syn_count(), 1);
+        assert_eq!(
+            router
+                .sniffer(Direction::Outbound)
+                .kind_count(SegmentKind::Syn),
+            1
+        );
+    }
+
+    #[test]
+    fn tampered_payload_fails_the_crc() {
+        let json = sample_checkpoint().to_json();
+        // Flip one digit inside the payload without breaking the JSON.
+        let tampered = json.replacen("\\\"current_period\\\":5", "\\\"current_period\\\":6", 1);
+        assert_ne!(json, tampered, "tamper target must exist");
+        match Checkpoint::from_json(&tampered) {
+            Err(CheckpointError::CrcMismatch { expected, actual }) => assert_ne!(expected, actual),
+            other => panic!("want CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected_in_order() {
+        let checkpoint = sample_checkpoint();
+        let payload = serde_json::to_string(&checkpoint).unwrap();
+        let crc = crc32(payload.as_bytes());
+        let bad_magic = serde_json::to_string(&Envelope {
+            magic: "not-a-checkpoint".to_string(),
+            version: CHECKPOINT_VERSION,
+            crc32: crc,
+            payload: payload.clone(),
+        })
+        .unwrap();
+        assert_eq!(
+            Checkpoint::from_json(&bad_magic),
+            Err(CheckpointError::BadMagic("not-a-checkpoint".to_string()))
+        );
+        let future = serde_json::to_string(&Envelope {
+            magic: MAGIC.to_string(),
+            version: CHECKPOINT_VERSION + 1,
+            crc32: crc,
+            payload,
+        })
+        .unwrap();
+        assert_eq!(
+            Checkpoint::from_json(&future),
+            Err(CheckpointError::UnsupportedVersion(CHECKPOINT_VERSION + 1))
+        );
+        assert!(matches!(
+            Checkpoint::from_json("{"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_restored_state_is_rejected() {
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.outbound.kinds.pop();
+        assert!(matches!(
+            checkpoint.restore_router(),
+            Err(CheckpointError::InvalidState(_))
+        ));
+        let mut bad_stub = sample_checkpoint();
+        bad_stub.stub = "not-a-prefix".to_string();
+        assert!(matches!(
+            bad_stub.restore_router(),
+            Err(CheckpointError::InvalidState(_))
+        ));
+        let mut zero_period = sample_checkpoint();
+        zero_period.period_micros = 0;
+        assert!(matches!(
+            zero_period.restore_router(),
+            Err(CheckpointError::InvalidState(_))
+        ));
+    }
+}

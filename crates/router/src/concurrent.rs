@@ -37,9 +37,10 @@ use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
 use syndog_net::classify::SegmentKind;
 use syndog_net::Ipv4Net;
 use syndog_sim::SimDuration;
-use syndog_telemetry::{Gauge, Telemetry};
+use syndog_telemetry::{Counter, Gauge, Telemetry};
 use syndog_traffic::trace::Direction;
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::router::LeafRouter;
 use crate::telemetry::{AgentTelemetry, ConcurrentTelemetry};
 
@@ -72,6 +73,10 @@ struct InterfaceCounters {
     malformed: AtomicU64,
     dropped_batches: AtomicU64,
     dropped_frames: AtomicU64,
+    /// Times the supervisor restarted this interface's worker loop after
+    /// a panic. The tallies above survive a restart — they live here, not
+    /// in the worker.
+    restarts: AtomicU64,
 }
 
 impl InterfaceCounters {
@@ -106,6 +111,9 @@ impl InterfaceCounters {
 enum SnifferMsg {
     Batch(FrameBatch),
     Flush(SyncSender<()>),
+    /// Test/chaos hook: makes the worker loop panic so the supervisor's
+    /// catch-and-restart path can be exercised deterministically.
+    InjectPanic,
 }
 
 /// One interface's sniffer thread handle.
@@ -119,29 +127,52 @@ fn spawn_sniffer(
     counters: Arc<InterfaceCounters>,
     capacity: usize,
     depth: Option<Arc<Gauge>>,
+    restarts_counter: Option<Arc<Counter>>,
 ) -> SnifferThread {
     let (sender, receiver): (SyncSender<SnifferMsg>, Receiver<SnifferMsg>) = sync_channel(capacity);
     let thread_counters = Arc::clone(&counters);
     let handle = std::thread::spawn(move || {
+        // Supervision: the worker loop runs under catch_unwind; a panic
+        // (poisoned input, injected fault) restarts the loop with the
+        // shared counters, channel, and lifetime frame tally intact.
+        // AssertUnwindSafe is sound here because every piece of state the
+        // closure touches is either atomic (counters, gauge) or a plain
+        // tally that is only mid-update for Copy arithmetic.
         let mut frames = 0u64;
-        while let Ok(msg) = receiver.recv() {
-            match msg {
-                SnifferMsg::Batch(batch) => {
-                    // The depth gauge pairs with the submit-side increment:
-                    // it reads the number of batches still in flight.
-                    if let Some(depth) = &depth {
-                        depth.sub(1.0);
+        loop {
+            let worker = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                while let Ok(msg) = receiver.recv() {
+                    match msg {
+                        SnifferMsg::Batch(batch) => {
+                            // The depth gauge pairs with the submit-side
+                            // increment: it reads the batches in flight.
+                            if let Some(depth) = &depth {
+                                depth.sub(1.0);
+                            }
+                            frames += batch.len() as u64;
+                            thread_counters.add(&classify_batch(&batch));
+                        }
+                        SnifferMsg::Flush(ack) => {
+                            // The flusher may have given up; its problem.
+                            let _ = ack.send(());
+                        }
+                        SnifferMsg::InjectPanic => {
+                            panic!("injected sniffer fault (expected in tests)")
+                        }
                     }
-                    frames += batch.len() as u64;
-                    thread_counters.add(&classify_batch(&batch));
                 }
-                SnifferMsg::Flush(ack) => {
-                    // The flusher may have given up; that's its problem.
-                    let _ = ack.send(());
+            }));
+            match worker {
+                // Channel closed: orderly shutdown.
+                Ok(()) => return frames,
+                Err(_) => {
+                    thread_counters.restarts.fetch_add(1, Ordering::Relaxed);
+                    if let Some(restarts) = &restarts_counter {
+                        restarts.inc();
+                    }
                 }
             }
         }
-        frames
     });
     SnifferThread {
         sender,
@@ -232,17 +263,24 @@ impl ConcurrentSynDog {
                 .as_ref()
                 .map(|t| t.channel(direction).depth())
         };
+        let restarts = |direction: Direction| {
+            channel_telemetry
+                .as_ref()
+                .map(|t| t.channel(direction).restarts_counter())
+        };
         ConcurrentSynDog {
             router: LeafRouter::new(stub, period),
             outbound: spawn_sniffer(
                 Arc::new(InterfaceCounters::default()),
                 channel_capacity,
                 depth(Direction::Outbound),
+                restarts(Direction::Outbound),
             ),
             inbound: spawn_sniffer(
                 Arc::new(InterfaceCounters::default()),
                 channel_capacity,
                 depth(Direction::Inbound),
+                restarts(Direction::Inbound),
             ),
             policy,
             detector: SynDogDetector::new(config),
@@ -321,7 +359,11 @@ impl ConcurrentSynDog {
     /// always uses a blocking send, regardless of overflow policy —
     /// barriers are never shed.
     pub fn flush(&self) {
-        let started = std::time::Instant::now();
+        // Timing is telemetry-only: skip the syscalls when unobserved.
+        let started = self
+            .channel_telemetry
+            .is_some()
+            .then(std::time::Instant::now);
         let mut acks = Vec::with_capacity(2);
         for target in [&self.outbound, &self.inbound] {
             let (ack_tx, ack_rx) = sync_channel(1);
@@ -335,6 +377,7 @@ impl ConcurrentSynDog {
             ack.recv().expect("sniffer thread acks every flush");
         }
         if let Some(telemetry) = &self.channel_telemetry {
+            let started = started.expect("timer started whenever telemetry is attached");
             telemetry.record_flush(started.elapsed().as_micros() as u64);
         }
     }
@@ -350,7 +393,8 @@ impl ConcurrentSynDog {
     /// either side, which the CUSUM absorbs — exactly like the real
     /// deployment.
     pub fn close_period(&mut self) -> Detection {
-        let close_started = std::time::Instant::now();
+        // Timing is telemetry-only: skip the syscalls when unobserved.
+        let close_started = self.agent_telemetry.is_some().then(std::time::Instant::now);
         self.router
             .observe_counts(Direction::Outbound, &self.outbound.counters.drain());
         self.router
@@ -367,7 +411,10 @@ impl ConcurrentSynDog {
                 sample,
                 &detection,
                 end_secs,
-                close_started.elapsed().as_micros() as u64,
+                close_started
+                    .expect("timer started whenever telemetry is attached")
+                    .elapsed()
+                    .as_micros() as u64,
             );
             telemetry.sync_sniffers(
                 self.router.sniffer(Direction::Outbound),
@@ -386,6 +433,62 @@ impl ConcurrentSynDog {
     /// on its sniffers; they update at each [`Self::close_period`]).
     pub fn router(&self) -> &LeafRouter {
         &self.router
+    }
+
+    /// Chaos hook: makes `direction`'s sniffer thread panic on its next
+    /// dequeue, exercising the supervisor's restart path. The shared
+    /// counters (and the lifetime frame tally) survive the restart;
+    /// [`Self::sniffer_restarts`] and the
+    /// `syndog_sniffer_restarts_total{interface}` series record it.
+    pub fn inject_sniffer_panic(&self, direction: Direction) {
+        self.interface(direction)
+            .sender
+            .send(SnifferMsg::InjectPanic)
+            .expect("sniffer thread alive for the life of the agent");
+    }
+
+    /// Times the supervisor restarted a panicked sniffer worker, summed
+    /// over both interfaces.
+    pub fn sniffer_restarts(&self) -> u64 {
+        self.outbound.counters.restarts.load(Ordering::Relaxed)
+            + self.inbound.counters.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Captures the coordinator's detection state as a [`Checkpoint`].
+    ///
+    /// Frames still in flight (queued in the channels or in the shared
+    /// atomics) are *not* captured: call [`Self::flush`] and
+    /// [`Self::close_period`] first so the checkpoint lands on a period
+    /// boundary — the same boundary the restore resumes from.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(&self.router, 0, &self.detector, &self.detections, &[])
+    }
+
+    /// Rebuilds a concurrent deployment from a [`Checkpoint`]: fresh
+    /// sniffer threads, restored router clock/counters, detector and
+    /// detection series. The detector configuration comes from the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::InvalidState`] when the checkpoint's
+    /// router state is unusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_capacity` is zero.
+    pub fn resume(
+        checkpoint: &Checkpoint,
+        channel_capacity: usize,
+        policy: OverflowPolicy,
+        hub: Option<Arc<Telemetry>>,
+    ) -> Result<Self, CheckpointError> {
+        let router = checkpoint.restore_router()?;
+        let mut dog = Self::build(*checkpoint.detector.config(), channel_capacity, policy, hub);
+        dog.router = router;
+        dog.detector = checkpoint.detector.clone();
+        dog.detections = checkpoint.detections.clone();
+        Ok(dog)
     }
 
     /// Batches shed so far under [`OverflowPolicy::Drop`], summed over
@@ -734,6 +837,104 @@ mod tests {
             1
         );
         dog.shutdown();
+    }
+
+    #[test]
+    fn sniffer_restarts_after_panic_with_counters_intact() {
+        let hub = Arc::new(Telemetry::new());
+        let mut dog = ConcurrentSynDog::with_telemetry(
+            SynDogConfig::paper_default(),
+            64,
+            OverflowPolicy::Block,
+            Arc::clone(&hub),
+        );
+        dog.submit_batch(Direction::Outbound, batch_of((0..5).map(syn_frame)));
+        dog.flush();
+        dog.inject_sniffer_panic(Direction::Outbound);
+        // Work submitted after the panic must be processed by the
+        // restarted worker loop; the flush barrier proves it is alive.
+        dog.submit_batch(Direction::Outbound, batch_of((0..3).map(syn_frame)));
+        dog.flush();
+        assert_eq!(dog.sniffer_restarts(), 1);
+        // The pre-panic tallies survived the restart.
+        assert_eq!(dog.close_period().delta, 8.0);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter(
+                "syndog_sniffer_restarts_total",
+                &[("interface", "outbound")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("syndog_sniffer_restarts_total", &[("interface", "inbound")]),
+            Some(0)
+        );
+        // Shutdown still joins cleanly: the panic was caught, not
+        // propagated, and the lifetime frame tally spans the restart.
+        let (out_frames, in_frames) = dog.shutdown();
+        assert_eq!(out_frames, 8);
+        assert_eq!(in_frames, 0);
+    }
+
+    #[test]
+    fn repeated_panics_keep_restarting_the_worker() {
+        let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 16);
+        for round in 0..3 {
+            dog.inject_sniffer_panic(Direction::Inbound);
+            dog.submit(Direction::Inbound, &synack_frame(round));
+            dog.flush();
+        }
+        assert_eq!(dog.sniffer_restarts(), 3);
+        assert_eq!(dog.close_period().delta, -3.0);
+        assert_eq!(dog.shutdown().1, 3);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        // Drive one deployment straight through 4 periods; drive another
+        // to period 2, checkpoint, resume, and finish. Series must match.
+        let submit = |dog: &ConcurrentSynDog, period: u32| {
+            dog.submit_batch(
+                Direction::Outbound,
+                batch_of((0..100 + period * 40).map(|i| syn_frame(period * 1000 + i))),
+            );
+            dog.submit_batch(
+                Direction::Inbound,
+                batch_of((0..100).map(|i| synack_frame(period * 1000 + i))),
+            );
+        };
+        let mut straight = ConcurrentSynDog::start(SynDogConfig::paper_default(), 64);
+        for period in 0..4 {
+            submit(&straight, period);
+            straight.flush();
+            straight.close_period();
+        }
+
+        let mut first_half = ConcurrentSynDog::start(SynDogConfig::paper_default(), 64);
+        for period in 0..2 {
+            submit(&first_half, period);
+            first_half.flush();
+            first_half.close_period();
+        }
+        let json = first_half.checkpoint().to_json();
+        first_half.shutdown();
+        let checkpoint = Checkpoint::from_json(&json).unwrap();
+        let mut resumed =
+            ConcurrentSynDog::resume(&checkpoint, 64, OverflowPolicy::Block, None).unwrap();
+        assert_eq!(resumed.router().current_period(), 2);
+        for period in 2..4 {
+            submit(&resumed, period);
+            resumed.flush();
+            resumed.close_period();
+        }
+        assert_eq!(resumed.detections(), straight.detections());
+        assert_eq!(
+            resumed.router().sniffer(Direction::Outbound).frames_seen(),
+            straight.router().sniffer(Direction::Outbound).frames_seen()
+        );
+        straight.shutdown();
+        resumed.shutdown();
     }
 
     #[test]

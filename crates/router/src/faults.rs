@@ -1,0 +1,670 @@
+//! Deterministic fault injection over the unified ingestion boundary.
+//!
+//! The paper claims SYN-dog's first-mile detection survives packet loss,
+//! reordering and partial observation (§4's loss-fitted SYN→SYN/ACK
+//! gaps); this module makes that claim testable. A [`FaultInjector`]
+//! wraps any [`FrameSource`] and perturbs its event stream with seeded,
+//! reproducible faults:
+//!
+//! | fault | spec key | effect |
+//! |---|---|---|
+//! | drop | `drop=P` | event removed with probability `P` |
+//! | duplicate | `dup=P` | event emitted twice with probability `P` |
+//! | reorder | `reorder=W` | events shuffled within windows of `W` |
+//! | truncate | `truncate=P` | classification lost (`kind -> None`) |
+//! | corrupt | `corrupt=P` | flag byte flipped: kind re-rolled |
+//! | clock jitter | `jitter_ms=M` | timestamp perturbed by ±`M` ms |
+//!
+//! Because every ingestion mode funnels through
+//! [`LeafRouter::ingest`](crate::router::LeafRouter::ingest), composing a
+//! `FaultInjector` onto a source faults trace, raw-frame and pcap runs
+//! identically — and the same seed replays the same fault sequence
+//! bit-for-bit (see the determinism property tests). A [`FaultLedger`]
+//! tallies what was done; attach a
+//! [`FaultTelemetry`] to export the
+//! tallies as `syndog_faults_total{kind=...}` counters.
+//!
+//! Note that reordering and jitter intentionally violate the
+//! [`FrameSource`] nondecreasing-time contract: that is the point. The
+//! router's period clock only moves forward, so late events land in the
+//! then-current period — the absorption behaviour the soak tests measure.
+
+use std::collections::VecDeque;
+
+use syndog_net::{NetError, SegmentKind};
+use syndog_sim::{SimDuration, SimRng, SimTime};
+use syndog_traffic::trace::{Trace, TraceRecord};
+
+use crate::source::{EventBatch, FrameEvent, FrameSource, DEFAULT_BATCH_SIZE};
+use crate::telemetry::FaultTelemetry;
+
+/// A seeded fault configuration. Construct via [`FaultSpec::parse`] (the
+/// CLI `--faults` syntax) or struct update from [`FaultSpec::off`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability an event is dropped.
+    pub drop: f64,
+    /// Probability an event is duplicated.
+    pub duplicate: f64,
+    /// Reorder window: events are shuffled within consecutive windows of
+    /// this many events. `0` or `1` disables reordering.
+    pub reorder_window: usize,
+    /// Probability an event's classification is lost (truncated frame:
+    /// `kind -> None`, tallied as malformed downstream).
+    pub truncate: f64,
+    /// Probability a classified event's kind is re-rolled to a different
+    /// [`SegmentKind`] (a corrupted flag byte).
+    pub corrupt: f64,
+    /// Maximum clock perturbation applied to event timestamps, uniformly
+    /// in `±jitter`.
+    pub jitter: SimDuration,
+    /// RNG seed: the same spec over the same source replays the same
+    /// faulted stream bit-for-bit.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// The identity spec: no faults, seed 0.
+    pub fn off() -> Self {
+        FaultSpec {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder_window: 0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            jitter: SimDuration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Whether this spec perturbs anything at all.
+    pub fn is_off(&self) -> bool {
+        self.drop == 0.0
+            && self.duplicate == 0.0
+            && self.reorder_window <= 1
+            && self.truncate == 0.0
+            && self.corrupt == 0.0
+            && self.jitter.is_zero()
+    }
+
+    /// Parses the CLI spec syntax: comma-separated `key=value` pairs with
+    /// keys `drop`, `dup` (or `duplicate`), `reorder`, `truncate`,
+    /// `corrupt`, `jitter_ms`, `seed` — e.g.
+    /// `drop=0.05,reorder=8,jitter_ms=5,seed=42`. Unset keys default to
+    /// off / seed 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown keys, non-numeric
+    /// values, or probabilities outside `[0, 1]`.
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        fn probability(key: &str, raw: &str) -> Result<f64, String> {
+            let p: f64 = raw
+                .parse()
+                .map_err(|_| format!("fault {key}={raw}: not a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault {key}={raw}: probability outside [0, 1]"));
+            }
+            Ok(p)
+        }
+        let mut spec = FaultSpec::off();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec entry `{part}` is not key=value"))?;
+            match key {
+                "drop" => spec.drop = probability(key, value)?,
+                "dup" | "duplicate" => spec.duplicate = probability(key, value)?,
+                "truncate" => spec.truncate = probability(key, value)?,
+                "corrupt" => spec.corrupt = probability(key, value)?,
+                "reorder" => {
+                    spec.reorder_window = value
+                        .parse()
+                        .map_err(|_| format!("fault reorder={value}: not a window size"))?;
+                }
+                "jitter_ms" => {
+                    let ms: f64 = value
+                        .parse()
+                        .map_err(|_| format!("fault jitter_ms={value}: not a number"))?;
+                    if ms < 0.0 {
+                        return Err(format!("fault jitter_ms={value}: negative"));
+                    }
+                    spec.jitter = SimDuration::from_secs_f64(ms / 1000.0);
+                }
+                "seed" => {
+                    spec.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault seed={value}: not an integer"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault key `{other}` (drop, dup, reorder, truncate, corrupt, jitter_ms, seed)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Applies the spec at trace-record level, for consumers that replay
+    /// [`TraceRecord`]s rather than pull a [`FrameSource`] (the concurrent
+    /// deployment). Semantics match the event-level injector with two
+    /// documented differences: truncation *drops* the record (a
+    /// `TraceRecord` cannot carry "unclassifiable"), and explicit
+    /// reordering is a no-op because [`Trace::from_records`] re-sorts by
+    /// time — jitter is the record-level reorder knob.
+    pub fn apply_to_trace(&self, trace: &Trace) -> (Trace, FaultLedger) {
+        let mut rng = SimRng::seed_from_u64(self.seed);
+        let mut ledger = FaultLedger::default();
+        let mut out: Vec<TraceRecord> = Vec::with_capacity(trace.len());
+        for record in trace.records() {
+            ledger.input_events += 1;
+            if self.drop > 0.0 && rng.chance(self.drop) {
+                ledger.dropped += 1;
+                continue;
+            }
+            let copies = if self.duplicate > 0.0 && rng.chance(self.duplicate) {
+                ledger.duplicated += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let mut faulted = *record;
+                faulted.time = self.jittered_time(&mut rng, faulted.time, &mut ledger);
+                if self.truncate > 0.0 && rng.chance(self.truncate) {
+                    ledger.truncated += 1;
+                    continue; // unclassifiable record: shed
+                }
+                if self.corrupt > 0.0 && rng.chance(self.corrupt) {
+                    faulted.kind = reroll_kind(&mut rng, faulted.kind);
+                    ledger.corrupted += 1;
+                }
+                ledger.emitted_events += 1;
+                out.push(faulted);
+            }
+        }
+        (Trace::from_records(out, trace.duration()), ledger)
+    }
+
+    /// One jittered timestamp draw (no-op when jitter is off).
+    fn jittered_time(&self, rng: &mut SimRng, time: SimTime, ledger: &mut FaultLedger) -> SimTime {
+        if self.jitter.is_zero() {
+            return time;
+        }
+        let j = self.jitter.as_micros();
+        let offset = rng.uniform_u64(0, 2 * j + 1) as i64 - j as i64;
+        if offset == 0 {
+            return time;
+        }
+        ledger.jittered += 1;
+        SimTime::from_micros(time.as_micros().saturating_add_signed(offset))
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::off()
+    }
+}
+
+/// Running tally of what a fault injector did to its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultLedger {
+    /// Events pulled from the wrapped source.
+    pub input_events: u64,
+    /// Events emitted downstream (after drops and duplicates).
+    pub emitted_events: u64,
+    /// Events removed by the drop fault.
+    pub dropped: u64,
+    /// Events the duplicate fault emitted a second copy of.
+    pub duplicated: u64,
+    /// Events whose position changed inside a reorder window.
+    pub reordered: u64,
+    /// Events whose classification was truncated away.
+    pub truncated: u64,
+    /// Events whose kind was re-rolled by the corrupt fault.
+    pub corrupted: u64,
+    /// Events whose timestamp moved under clock jitter.
+    pub jittered: u64,
+}
+
+impl FaultLedger {
+    /// Total faults applied, across every kind.
+    pub fn total_faults(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.truncated
+            + self.corrupted
+            + self.jittered
+    }
+
+    /// A one-line human summary for CLI reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} events in, {} out: {} dropped, {} duplicated, {} reordered, {} truncated, {} corrupted, {} jittered",
+            self.input_events,
+            self.emitted_events,
+            self.dropped,
+            self.duplicated,
+            self.reordered,
+            self.truncated,
+            self.corrupted,
+            self.jittered
+        )
+    }
+}
+
+/// Re-rolls a segment kind to a uniformly random *different* kind.
+fn reroll_kind(rng: &mut SimRng, kind: SegmentKind) -> SegmentKind {
+    let pick = rng.uniform_u64(0, SegmentKind::ALL.len() as u64 - 1) as usize;
+    let index = if pick >= kind.index() { pick + 1 } else { pick };
+    SegmentKind::ALL[index]
+}
+
+/// A [`FrameSource`] adapter injecting seeded faults into any wrapped
+/// source (see the [module docs](crate::faults) for the fault model).
+pub struct FaultInjector<S> {
+    inner: S,
+    spec: FaultSpec,
+    rng: SimRng,
+    /// Reorder staging: fills to `reorder_window` events, then shuffles
+    /// and spills into `ready`.
+    window: Vec<FrameEvent>,
+    /// Faulted events ready to emit.
+    ready: VecDeque<FrameEvent>,
+    /// Scratch buffer for the wrapped source's batches.
+    scratch: EventBatch,
+    inner_done: bool,
+    ledger: FaultLedger,
+    telemetry: Option<FaultTelemetry>,
+}
+
+impl<S: FrameSource> FaultInjector<S> {
+    /// Wraps `inner`, seeding the fault RNG from `spec.seed`.
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        FaultInjector {
+            inner,
+            spec,
+            rng: SimRng::seed_from_u64(spec.seed),
+            window: Vec::new(),
+            ready: VecDeque::new(),
+            scratch: EventBatch::new(),
+            inner_done: false,
+            ledger: FaultLedger::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches fault-ledger telemetry: every batch syncs the ledger into
+    /// `syndog_faults_total{kind=...}` counters.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: FaultTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The spec this injector runs with.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The fault tally so far.
+    pub fn ledger(&self) -> &FaultLedger {
+        &self.ledger
+    }
+
+    /// Faults one input event into the reorder window (0, 1 or 2 staged
+    /// events).
+    fn stage(&mut self, event: FrameEvent) {
+        self.ledger.input_events += 1;
+        if self.spec.drop > 0.0 && self.rng.chance(self.spec.drop) {
+            self.ledger.dropped += 1;
+            return;
+        }
+        let copies = if self.spec.duplicate > 0.0 && self.rng.chance(self.spec.duplicate) {
+            self.ledger.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut faulted = event;
+            faulted.time = self
+                .spec
+                .jittered_time(&mut self.rng, faulted.time, &mut self.ledger);
+            if self.spec.truncate > 0.0 && self.rng.chance(self.spec.truncate) {
+                if faulted.kind.take().is_some() {
+                    self.ledger.truncated += 1;
+                }
+            } else if let Some(kind) = faulted.kind {
+                if self.spec.corrupt > 0.0 && self.rng.chance(self.spec.corrupt) {
+                    faulted.kind = Some(reroll_kind(&mut self.rng, kind));
+                    self.ledger.corrupted += 1;
+                }
+            }
+            self.ledger.emitted_events += 1;
+            self.window.push(faulted);
+            if self.window.len() >= self.spec.reorder_window.max(1) {
+                self.spill_window();
+            }
+        }
+    }
+
+    /// Shuffles the staged window (Fisher–Yates) and moves it to `ready`.
+    ///
+    /// "Reordered" counts displaced events, not windows, so the ledger
+    /// reflects the actual perturbation magnitude.
+    fn spill_window(&mut self) {
+        if self.window.len() > 1 {
+            let staged = self.window.clone();
+            for i in (1..self.window.len()).rev() {
+                let j = self.rng.uniform_u64(0, i as u64 + 1) as usize;
+                self.window.swap(i, j);
+            }
+            self.ledger.reordered += self
+                .window
+                .iter()
+                .zip(&staged)
+                .filter(|(shuffled, original)| shuffled != original)
+                .count() as u64;
+        }
+        self.ready.extend(self.window.drain(..));
+    }
+
+    /// Publishes the ledger to the attached telemetry, if any.
+    fn sync_telemetry(&mut self) {
+        if let Some(telemetry) = &mut self.telemetry {
+            telemetry.sync(&self.ledger);
+        }
+    }
+}
+
+impl<S: FrameSource> FrameSource for FaultInjector<S> {
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError> {
+        out.clear();
+        loop {
+            while out.len() < DEFAULT_BATCH_SIZE {
+                match self.ready.pop_front() {
+                    Some(event) => out.push(event),
+                    None => break,
+                }
+            }
+            if !out.is_empty() {
+                self.sync_telemetry();
+                return Ok(true);
+            }
+            if self.inner_done {
+                if self.window.is_empty() {
+                    self.sync_telemetry();
+                    return Ok(false);
+                }
+                self.spill_window();
+                continue;
+            }
+            // Refill: pull one batch from the wrapped source and fault it.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let produced = self.inner.next_batch(&mut scratch)?;
+            if produced {
+                for i in 0..scratch.len() {
+                    self.stage(scratch.events()[i]);
+                }
+            } else {
+                self.inner_done = true;
+            }
+            self.scratch = scratch;
+        }
+    }
+
+    fn duration(&self) -> Option<SimDuration> {
+        self.inner.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TraceSource;
+    use syndog_sim::SimTime;
+    use syndog_traffic::trace::Direction;
+
+    fn sample_trace(n: u64) -> Trace {
+        let records = (0..n)
+            .map(|i| {
+                TraceRecord::new(
+                    SimTime::from_secs(i),
+                    Direction::Outbound,
+                    SegmentKind::Syn,
+                    "10.1.0.5:1025".parse().unwrap(),
+                    "192.0.2.80:80".parse().unwrap(),
+                )
+            })
+            .collect();
+        Trace::from_records(records, SimDuration::from_secs(n))
+    }
+
+    fn drain<S: FrameSource>(source: &mut S) -> Vec<FrameEvent> {
+        let mut out = EventBatch::new();
+        let mut all = Vec::new();
+        while source.next_batch(&mut out).unwrap() {
+            assert!(!out.is_empty(), "a produced batch is never empty");
+            all.extend_from_slice(out.events());
+        }
+        assert!(
+            !source.next_batch(&mut out).unwrap(),
+            "exhaustion is stable"
+        );
+        all
+    }
+
+    #[test]
+    fn off_spec_is_identity() {
+        let trace = sample_trace(1000);
+        let direct = drain(&mut TraceSource::new(&trace));
+        let mut injector = FaultInjector::new(TraceSource::new(&trace), FaultSpec::off());
+        assert!(injector.spec().is_off());
+        let faulted = drain(&mut injector);
+        assert_eq!(direct, faulted);
+        assert_eq!(injector.ledger().total_faults(), 0);
+        assert_eq!(injector.ledger().input_events, 1000);
+        assert_eq!(injector.ledger().emitted_events, 1000);
+    }
+
+    #[test]
+    fn drop_rate_holds_statistically_and_tallies_exactly() {
+        let trace = sample_trace(10_000);
+        let spec = FaultSpec {
+            drop: 0.1,
+            seed: 7,
+            ..FaultSpec::off()
+        };
+        let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+        let events = drain(&mut injector);
+        let ledger = *injector.ledger();
+        assert_eq!(events.len() as u64, ledger.emitted_events);
+        assert_eq!(ledger.input_events, 10_000);
+        assert_eq!(ledger.dropped, 10_000 - ledger.emitted_events);
+        let rate = ledger.dropped as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "drop rate {rate}");
+    }
+
+    #[test]
+    fn duplicates_add_events_and_preserve_payload() {
+        let trace = sample_trace(5_000);
+        let spec = FaultSpec {
+            duplicate: 0.2,
+            seed: 11,
+            ..FaultSpec::off()
+        };
+        let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+        let events = drain(&mut injector);
+        let ledger = *injector.ledger();
+        assert_eq!(events.len() as u64, 5_000 + ledger.duplicated);
+        assert!(ledger.duplicated > 800, "duplicated {}", ledger.duplicated);
+        // No other fault active: every event keeps its classification.
+        assert!(events.iter().all(|e| e.kind == Some(SegmentKind::Syn)));
+    }
+
+    #[test]
+    fn truncate_clears_kind_and_corrupt_rerolls_it() {
+        let trace = sample_trace(5_000);
+        let truncated = {
+            let spec = FaultSpec {
+                truncate: 0.5,
+                seed: 13,
+                ..FaultSpec::off()
+            };
+            let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+            let events = drain(&mut injector);
+            let none = events.iter().filter(|e| e.kind.is_none()).count() as u64;
+            assert_eq!(none, injector.ledger().truncated);
+            assert!(none > 2_000);
+            none
+        };
+        assert!(truncated > 0);
+        let spec = FaultSpec {
+            corrupt: 0.5,
+            seed: 13,
+            ..FaultSpec::off()
+        };
+        let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+        let events = drain(&mut injector);
+        let changed = events
+            .iter()
+            .filter(|e| e.kind != Some(SegmentKind::Syn))
+            .count() as u64;
+        assert_eq!(changed, injector.ledger().corrupted);
+        // Corruption always lands on a *different* kind, never None.
+        assert!(events.iter().all(|e| e.kind.is_some()));
+        assert!(changed > 2_000);
+    }
+
+    #[test]
+    fn reorder_permutes_within_windows_only() {
+        let trace = sample_trace(256);
+        let spec = FaultSpec {
+            reorder_window: 8,
+            seed: 17,
+            ..FaultSpec::off()
+        };
+        let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+        let events = drain(&mut injector);
+        assert_eq!(events.len(), 256);
+        let mut moved = 0;
+        for (window_index, window) in events.chunks(8).enumerate() {
+            let mut times: Vec<u64> = window.iter().map(|e| e.time.as_micros()).collect();
+            times.sort_unstable();
+            // Each window is a permutation of the original 8 events.
+            let expected: Vec<u64> = (0..8)
+                .map(|i| SimTime::from_secs((window_index * 8 + i) as u64).as_micros())
+                .collect();
+            assert_eq!(times, expected, "window {window_index} is a permutation");
+            moved += window
+                .iter()
+                .zip(&expected)
+                .filter(|(e, t)| e.time.as_micros() != **t)
+                .count();
+        }
+        assert!(moved > 0, "shuffle must actually move events");
+        assert_eq!(
+            injector.ledger().reordered,
+            moved as u64,
+            "ledger counts exactly the displaced events"
+        );
+    }
+
+    #[test]
+    fn jitter_moves_timestamps_within_bound() {
+        let trace = sample_trace(2_000);
+        let spec = FaultSpec {
+            jitter: SimDuration::from_millis(5),
+            seed: 19,
+            ..FaultSpec::off()
+        };
+        let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+        let events = drain(&mut injector);
+        let mut moved = 0u64;
+        for (i, event) in events.iter().enumerate() {
+            let original = SimTime::from_secs(i as u64).as_micros() as i64;
+            let delta = (event.time.as_micros() as i64 - original).abs();
+            assert!(delta <= 5_000, "jitter {delta} exceeds bound");
+            if delta != 0 {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, injector.ledger().jittered);
+        assert!(moved > 1_000);
+    }
+
+    #[test]
+    fn spec_parser_round_trips_and_rejects_garbage() {
+        let spec = FaultSpec::parse(
+            "drop=0.05, dup=0.01,reorder=8,truncate=0.02,corrupt=0.03,jitter_ms=5,seed=42",
+        )
+        .unwrap();
+        assert_eq!(spec.drop, 0.05);
+        assert_eq!(spec.duplicate, 0.01);
+        assert_eq!(spec.reorder_window, 8);
+        assert_eq!(spec.truncate, 0.02);
+        assert_eq!(spec.corrupt, 0.03);
+        assert_eq!(spec.jitter, SimDuration::from_millis(5));
+        assert_eq!(spec.seed, 42);
+        assert!(!spec.is_off());
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::off());
+        assert_eq!(
+            FaultSpec::parse("duplicate=0.5").unwrap().duplicate,
+            0.5,
+            "long key accepted"
+        );
+        for bad in [
+            "drop",         // not key=value
+            "drop=1.5",     // probability out of range
+            "drop=-0.1",    // negative probability
+            "drop=abc",     // not a number
+            "reorder=-1",   // not a window
+            "jitter_ms=-2", // negative jitter
+            "seed=1.5",     // not an integer
+            "explode=0.5",  // unknown key
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn trace_level_faults_match_ledger() {
+        let trace = sample_trace(5_000);
+        let spec = FaultSpec {
+            drop: 0.1,
+            duplicate: 0.05,
+            truncate: 0.02,
+            corrupt: 0.02,
+            seed: 23,
+            ..FaultSpec::off()
+        };
+        let (faulted, ledger) = spec.apply_to_trace(&trace);
+        assert_eq!(ledger.input_events, 5_000);
+        assert_eq!(faulted.len() as u64, ledger.emitted_events);
+        assert!(ledger.dropped > 300);
+        assert!(ledger.truncated > 0, "record-level truncate sheds records");
+        assert_eq!(faulted.duration(), trace.duration());
+        // Same spec, same seed: the record-level path is deterministic too.
+        let (again, ledger_again) = spec.apply_to_trace(&trace);
+        assert_eq!(ledger, ledger_again);
+        assert_eq!(faulted.records(), again.records());
+    }
+
+    #[test]
+    fn reroll_never_returns_the_same_kind() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for kind in SegmentKind::ALL {
+            for _ in 0..100 {
+                assert_ne!(reroll_kind(&mut rng, kind), kind);
+            }
+        }
+    }
+}

@@ -23,8 +23,14 @@
 //!   period-close code path all of them (and the concurrent deployment)
 //!   share,
 //! - [`concurrent`] — the two-thread shared-memory deployment shape
-//!   described in the paper, with sniffer threads feeding lock-free
-//!   atomic counters from batched frame channels,
+//!   described in the paper, with supervised sniffer threads feeding
+//!   lock-free atomic counters from batched frame channels,
+//! - [`faults`] — deterministic, seeded fault injection
+//!   ([`FaultInjector`]) composing onto any [`FrameSource`], for proving
+//!   detection degrades gracefully under loss / reordering / corruption,
+//! - [`checkpoint`] — versioned, CRC-checked capture/restore of detector
+//!   and router state, so a restarted agent resumes mid-trace without
+//!   re-learning `K̄`,
 //! - [`telemetry`] — the named metric series and structured events both
 //!   deployment shapes report into a shared
 //!   [`syndog_telemetry::Telemetry`] hub; registration is up-front and
@@ -34,8 +40,10 @@
 //! [`LeafRouter::ingest`]: router::LeafRouter::ingest
 
 pub mod agent;
+pub mod checkpoint;
 pub mod concurrent;
 pub mod episodes;
+pub mod faults;
 pub mod locate;
 pub mod router;
 pub mod sniffer;
@@ -43,8 +51,10 @@ pub mod source;
 pub mod telemetry;
 
 pub use agent::{Alarm, SynDogAgent};
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use concurrent::{ConcurrentSynDog, OverflowPolicy};
 pub use episodes::{extract_episodes, AttackEpisode};
+pub use faults::{FaultInjector, FaultLedger, FaultSpec};
 pub use locate::SourceLocator;
 pub use router::LeafRouter;
 pub use sniffer::Sniffer;
@@ -52,4 +62,4 @@ pub use source::{
     EventBatch, FrameEvent, FrameSource, PcapSource, RawFrameSource, TraceSource,
     DEFAULT_BATCH_SIZE,
 };
-pub use telemetry::{AgentTelemetry, ConcurrentTelemetry};
+pub use telemetry::{AgentTelemetry, ConcurrentTelemetry, FaultTelemetry};

@@ -74,6 +74,21 @@ impl LeafRouter {
         }
     }
 
+    /// Mutable sniffer access for checkpoint restore.
+    pub(crate) fn sniffer_mut(&mut self, direction: Direction) -> &mut Sniffer {
+        match direction {
+            Direction::Outbound => &mut self.outbound,
+            Direction::Inbound => &mut self.inbound,
+        }
+    }
+
+    /// Rewinds/forwards the period clock to an absolute index — only
+    /// checkpoint restore may do this; normal operation moves the clock
+    /// through [`LeafRouter::advance_to`] / [`LeafRouter::take_period_sample`].
+    pub(crate) fn set_current_period(&mut self, period: u64) {
+        self.current_period = period;
+    }
+
     /// Advances the router clock to `now`, closing every period that ends
     /// at or before it and pushing one sample per closed period into
     /// `out` (empty periods included — silence is data).

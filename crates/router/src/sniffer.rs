@@ -149,6 +149,25 @@ impl Sniffer {
         self.kinds[kind.index()]
     }
 
+    /// Overwrites every counter from a captured checkpoint — the restore
+    /// half of [`crate::checkpoint`]. `syn`/`synack` are the *pending*
+    /// (since last [`Sniffer::take_counts`]) counts; the rest are
+    /// lifetime tallies.
+    pub(crate) fn restore_counts(
+        &mut self,
+        syn: u64,
+        synack: u64,
+        frames_seen: u64,
+        malformed: u64,
+        kinds: [u64; SegmentKind::ALL.len()],
+    ) {
+        self.syn = syn;
+        self.synack = synack;
+        self.frames_seen = frames_seen;
+        self.malformed = malformed;
+        self.kinds = kinds;
+    }
+
     /// Returns the period's counts and resets them — the "periodically
     /// exchange the counting information" step.
     pub fn take_counts(&mut self) -> PeriodSample {

@@ -30,6 +30,8 @@
 //! | `syndog_dropped_frames_total` | counter | `interface` |
 //! | `syndog_channel_depth` | gauge | `interface` |
 //! | `syndog_flush_micros` | histogram | |
+//! | `syndog_sniffer_restarts_total` | counter | `interface` |
+//! | `syndog_faults_total` | counter | `kind` |
 //!
 //! [`SynDogAgent::observe_period`]: crate::agent::SynDogAgent::observe_period
 //! [`ConcurrentSynDog`]: crate::concurrent::ConcurrentSynDog
@@ -41,6 +43,7 @@ use syndog_net::SegmentKind;
 use syndog_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry};
 use syndog_traffic::trace::{Direction, PeriodSample};
 
+use crate::faults::FaultLedger;
 use crate::sniffer::Sniffer;
 
 /// A stable lowercase interface name for the `interface` label.
@@ -219,6 +222,7 @@ pub struct ChannelTelemetry {
     dropped_batches: Arc<Counter>,
     dropped_frames: Arc<Counter>,
     depth: Arc<Gauge>,
+    restarts: Arc<Counter>,
 }
 
 impl ChannelTelemetry {
@@ -237,6 +241,8 @@ impl ChannelTelemetry {
             dropped_frames: registry
                 .counter_with("syndog_dropped_frames_total", &[("interface", interface)]),
             depth: registry.gauge_with("syndog_channel_depth", &[("interface", interface)]),
+            restarts: registry
+                .counter_with("syndog_sniffer_restarts_total", &[("interface", interface)]),
         }
     }
 
@@ -256,6 +262,12 @@ impl ChannelTelemetry {
     /// The depth gauge, for the sniffer thread to decrement on dequeue.
     pub fn depth(&self) -> Arc<Gauge> {
         Arc::clone(&self.depth)
+    }
+
+    /// The restarts counter, for the sniffer supervisor to bump when it
+    /// respawns a panicked worker loop.
+    pub fn restarts_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.restarts)
     }
 }
 
@@ -291,6 +303,53 @@ impl ConcurrentTelemetry {
     /// Records one flush barrier's round-trip time.
     pub fn record_flush(&self, micros: u64) {
         self.flush_micros.record(micros);
+    }
+}
+
+/// Per-fault-kind counters for a
+/// [`FaultInjector`](crate::faults::FaultInjector)'s ledger, published as
+/// `syndog_faults_total{kind=...}` by delta against the last synced
+/// ledger — the injector keeps its plain-value [`FaultLedger`] and this
+/// struct owns the telemetry coupling, mirroring the sniffer's
+/// per-interface series split.
+#[derive(Debug, Clone)]
+pub struct FaultTelemetry {
+    dropped: Arc<Counter>,
+    duplicated: Arc<Counter>,
+    reordered: Arc<Counter>,
+    truncated: Arc<Counter>,
+    corrupted: Arc<Counter>,
+    jittered: Arc<Counter>,
+    last: FaultLedger,
+}
+
+impl FaultTelemetry {
+    /// Registers the per-kind fault counters on the hub.
+    pub fn new(hub: &Telemetry) -> Self {
+        let registry = hub.registry();
+        let counter =
+            |kind: &'static str| registry.counter_with("syndog_faults_total", &[("kind", kind)]);
+        FaultTelemetry {
+            dropped: counter("drop"),
+            duplicated: counter("duplicate"),
+            reordered: counter("reorder"),
+            truncated: counter("truncate"),
+            corrupted: counter("corrupt"),
+            jittered: counter("jitter"),
+            last: FaultLedger::default(),
+        }
+    }
+
+    /// Publishes the ledger's tallies as counter deltas.
+    pub fn sync(&mut self, ledger: &FaultLedger) {
+        self.dropped.add(ledger.dropped - self.last.dropped);
+        self.duplicated
+            .add(ledger.duplicated - self.last.duplicated);
+        self.reordered.add(ledger.reordered - self.last.reordered);
+        self.truncated.add(ledger.truncated - self.last.truncated);
+        self.corrupted.add(ledger.corrupted - self.last.corrupted);
+        self.jittered.add(ledger.jittered - self.last.jittered);
+        self.last = *ledger;
     }
 }
 
@@ -373,6 +432,40 @@ mod tests {
         assert_eq!(
             snap.counter("syndog_frames_total", &[("interface", "outbound")]),
             Some(3)
+        );
+    }
+
+    #[test]
+    fn fault_telemetry_publishes_deltas_not_absolutes() {
+        let hub = Telemetry::new();
+        let mut faults = FaultTelemetry::new(&hub);
+        let mut ledger = FaultLedger {
+            dropped: 3,
+            reordered: 2,
+            ..FaultLedger::default()
+        };
+        faults.sync(&ledger);
+        // Re-syncing the same ledger must not double-count.
+        faults.sync(&ledger);
+        ledger.dropped = 5;
+        ledger.jittered = 1;
+        faults.sync(&ledger);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter("syndog_faults_total", &[("kind", "drop")]),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("syndog_faults_total", &[("kind", "reorder")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter("syndog_faults_total", &[("kind", "jitter")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("syndog_faults_total", &[("kind", "corrupt")]),
+            Some(0)
         );
     }
 
