@@ -1,10 +1,13 @@
 //! Reproduces the paper's tables and figures.
 //!
 //! ```text
-//! repro all [--seed N]       run every experiment in paper order
-//! repro <id>... [--seed N]   run specific experiments
-//! repro list                 list experiment ids
+//! repro all [--seed N] [--jobs N]     run every experiment in paper order
+//! repro <id>... [--seed N] [--jobs N] run specific experiments
+//! repro list                          list experiment ids
 //! ```
+//!
+//! `--jobs` caps the worker threads of the deterministic runner; outputs
+//! are identical for any value.
 //!
 //! Text reports go to stdout; CSV series are written under `results/`.
 
@@ -27,6 +30,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--jobs" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--jobs requires a value");
+                    std::process::exit(2);
+                });
+                let jobs: usize = value.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid job count: {value}");
+                    std::process::exit(2);
+                });
+                syndog_sim::par::set_max_jobs(jobs);
+            }
             "list" => {
                 for id in EXPERIMENT_IDS {
                     println!("{id}");
@@ -34,7 +48,7 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [all | list | <id>...] [--seed N]");
+                println!("usage: repro [all | list | <id>...] [--seed N] [--jobs N]");
                 println!("experiment ids: {}", EXPERIMENT_IDS.join(", "));
                 return;
             }

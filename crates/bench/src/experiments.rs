@@ -20,7 +20,8 @@ use syndog::metrics::{DetectionSummary, FalseAlarmReport, TrialOutcome};
 use syndog::{theory, Detection, NonParametricCusum, PeriodCounts, SynDogConfig, SynDogDetector};
 use syndog_attack::{FloodPattern, SynFlood};
 use syndog_net::MacAddr;
-use syndog_router::{SourceLocator, SynDogAgent};
+use syndog_router::{Fleet, Scenario, SourceLocator, SynDogAgent};
+use syndog_sim::par::{run_indexed, Parallelism};
 use syndog_sim::stats::TimeSeries;
 use syndog_sim::{SimDuration, SimRng, SimTime};
 use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
@@ -65,9 +66,22 @@ fn to_counts(sample: &PeriodSample) -> PeriodCounts {
     }
 }
 
+/// Extracts the single-stub [`TrialOutcome`] from a one-stub fleet report.
+fn trial_outcome(report: &syndog_router::FleetReport) -> TrialOutcome {
+    let stub = &report.stubs[0];
+    let start_period = stub.attack_start_period.expect("trial plants a flood");
+    TrialOutcome {
+        attack_start_period: start_period,
+        detected_at_period: stub.detection_delay_periods.map(|d| start_period + d),
+        false_alarms_before_attack: stub.false_alarm_periods,
+    }
+}
+
 /// Runs one attack trial at count level: background + constant flood of
 /// `rate` SYN/s for 10 minutes, start drawn uniformly (in minutes) from
-/// `window`.
+/// `window`. Built as a one-stub [`Scenario`] on the fleet runner's
+/// count-level path, so trial semantics are shared with the multi-stub
+/// experiments.
 pub fn attack_trial(
     site: &SiteProfile,
     config: SynDogConfig,
@@ -76,7 +90,6 @@ pub fn attack_trial(
     seed: u64,
 ) -> TrialOutcome {
     let mut rng = SimRng::seed_from_u64(seed);
-    let mut counts = site.generate_period_counts(&mut rng);
     let start_secs = rng.uniform_range(window.0 * 60.0, window.1 * 60.0);
     let flood = SynFlood::constant(
         rate,
@@ -84,37 +97,19 @@ pub fn attack_trial(
         SimDuration::from_secs(600),
         victim(),
     );
-    let flood_counts = flood.period_counts(counts.len(), OBSERVATION_PERIOD, &mut rng);
-    for (c, f) in counts.iter_mut().zip(&flood_counts) {
-        c.merge(*f);
-    }
-    let start_period = SimTime::from_secs_f64(start_secs).period_index(OBSERVATION_PERIOD);
-    let mut dog = SynDogDetector::new(config);
-    let mut detected_at = None;
-    let mut false_alarms = 0;
-    for (i, c) in counts.iter().enumerate() {
-        let d = dog.observe(to_counts(c));
-        if d.alarm {
-            let period = i as u64;
-            if period < start_period {
-                false_alarms += 1;
-            } else if detected_at.is_none() {
-                detected_at = Some(period);
-            }
-        }
-    }
-    TrialOutcome {
-        attack_start_period: start_period,
-        detected_at_period: detected_at,
-        false_alarms_before_attack: false_alarms,
-    }
+    let scenario = Scenario::single("trial", site.clone(), config, Some(flood), seed);
+    let report = Fleet::new(scenario)
+        .with_parallelism(Parallelism::Fixed(1))
+        .run_counts();
+    trial_outcome(&report)
 }
 
 /// Sweeps flooding rates, aggregating `trials` seeded trials per rate.
 ///
-/// Trials are independent, so they fan out across a thread scope sized
-/// to the machine; results are deterministic regardless of thread count
-/// because every trial's seed is a pure function of `(seed_base, rate, t)`.
+/// Trials are independent, so they fan out on the shared deterministic
+/// runner ([`syndog_sim::par::run_indexed`], which honours the `--jobs`
+/// cap); results are identical for any worker count because every trial's
+/// seed is a pure function of `(seed_base, rate, t)`.
 pub fn detection_sweep(
     site: &SiteProfile,
     config: SynDogConfig,
@@ -123,39 +118,17 @@ pub fn detection_sweep(
     trials: u64,
     seed_base: u64,
 ) -> Vec<(f64, DetectionSummary)> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
     rates
         .iter()
         .map(|&rate| {
-            let mut outcomes = vec![
-                TrialOutcome {
-                    attack_start_period: 0,
-                    detected_at_period: None,
-                    false_alarms_before_attack: 0,
-                };
-                trials as usize
-            ];
-            std::thread::scope(|scope| {
-                for (shard_index, shard) in outcomes
-                    .chunks_mut(trials as usize / workers + 1)
-                    .enumerate()
-                {
-                    let offset = shard_index * (trials as usize / workers + 1);
-                    scope.spawn(move || {
-                        for (i, slot) in shard.iter_mut().enumerate() {
-                            let t = (offset + i) as u64;
-                            *slot = attack_trial(
-                                site,
-                                config,
-                                rate,
-                                window,
-                                seed_base + t * 7919 + rate as u64,
-                            );
-                        }
-                    });
-                }
+            let outcomes = run_indexed(trials as usize, Parallelism::Auto, |t| {
+                attack_trial(
+                    site,
+                    config,
+                    rate,
+                    window,
+                    seed_base + t as u64 * 7919 + rate as u64,
+                )
             });
             (rate, DetectionSummary::from_trials(&outcomes))
         })
@@ -163,7 +136,8 @@ pub fn detection_sweep(
 }
 
 /// Produces the `y_n` series for one seeded run with a flood starting at a
-/// fixed period (for the Figure 7/8/9 plots).
+/// fixed period (for the Figure 7/8/9 plots), via the fleet runner's
+/// count-level path.
 pub fn yn_series_with_flood(
     site: &SiteProfile,
     config: SynDogConfig,
@@ -171,20 +145,17 @@ pub fn yn_series_with_flood(
     start_period: u64,
     seed: u64,
 ) -> Vec<Detection> {
-    let mut rng = SimRng::seed_from_u64(seed);
-    let mut counts = site.generate_period_counts(&mut rng);
     let flood = SynFlood::constant(
         rate,
         SimTime::ZERO + OBSERVATION_PERIOD * start_period,
         SimDuration::from_secs(600),
         victim(),
     );
-    let flood_counts = flood.period_counts(counts.len(), OBSERVATION_PERIOD, &mut rng);
-    for (c, f) in counts.iter_mut().zip(&flood_counts) {
-        c.merge(*f);
-    }
-    let mut dog = SynDogDetector::new(config);
-    counts.iter().map(|c| dog.observe(to_counts(c))).collect()
+    let scenario = Scenario::single("yn", site.clone(), config, Some(flood), seed);
+    let (_, mut detections) = Fleet::new(scenario)
+        .with_parallelism(Parallelism::Fixed(1))
+        .run_counts_with_detections();
+    detections.swap_remove(0)
 }
 
 /// Table 1 — the trace inventory, extended with each profile's calibration
@@ -636,6 +607,51 @@ pub fn disc(seed: u64) -> ExperimentOutput {
     }
 }
 
+/// Fleet — the paper's distributed deployment, end to end: a 6-stub
+/// Auckland-scale fleet where 3 stubs host slaves of one DDoS campaign.
+/// The aggregate rate is split so each source stays below the `f_min` a
+/// single UNC-scale vantage point can detect, yet every hosting stub's
+/// own first-mile agent implicates it, names the slave's MAC, and the
+/// implicated set agrees with traceback topology localization.
+pub fn fleet(seed: u64) -> ExperimentOutput {
+    let config = SynDogConfig::paper_default();
+    let template = SiteProfile::auckland().with_duration(SimDuration::from_secs(1800));
+    let attacked = [1usize, 3, 5];
+    let total_rate = 30.0;
+    let scenario = Scenario::distributed_flood(
+        "fleet-ddos",
+        &template,
+        6,
+        &attacked,
+        total_rate,
+        SimTime::from_secs(600),
+        victim(),
+        config,
+        seed,
+    );
+    let per_stub = total_rate / attacked.len() as f64;
+    let single_k = SiteProfile::unc().expected_k();
+    let f_min =
+        theory::min_detectable_rate(config.offset, 0.0, single_k, config.observation_period_secs);
+    let report = Fleet::new(scenario).run();
+    let check = report.topology_cross_check();
+    let mut body = report.render();
+    body.push_str(&format!(
+        "\neach source floods at {per_stub} SYN/s — below the f_min ≈ {f_min:.1} SYN/s a single\n\
+         UNC-scale vantage point can see (K̄ ≈ {single_k:.0}) — yet every hosting stub's own\n\
+         SYN-dog implicates it; traceback topology cross-check: {}\n",
+        if check.matches() { "MATCH" } else { "MISMATCH" },
+    ));
+    let files = vec![write_result("fleet_ddos.csv", &report.to_csv())];
+    ExperimentOutput {
+        id: "fleet",
+        title: "multi-stub DDoS: sub-threshold distributed flood localized by the agent fleet"
+            .into(),
+        body,
+        files,
+    }
+}
+
 /// Ablation — flood temporal pattern: the paper claims detection depends
 /// only on volume, not burstiness. Equal-volume constant / on-off / ramp /
 /// pulsed floods should be detected with similar delay.
@@ -662,36 +678,24 @@ pub fn ablate_patterns(seed: u64) -> ExperimentOutput {
     ];
     let mut table = TextTable::new(&["pattern", "Detection Prob.", "mean delay (t0)"]);
     for (name, pattern) in patterns {
-        let outcomes: Vec<TrialOutcome> = (0..30)
-            .map(|t| {
-                let mut rng = SimRng::seed_from_u64(seed + t * 131);
-                let mut counts = site.generate_period_counts(&mut rng);
-                let start = 15u64;
-                let flood = SynFlood::constant(
-                    60.0,
-                    SimTime::ZERO + OBSERVATION_PERIOD * start,
-                    SimDuration::from_secs(600),
-                    victim(),
-                )
-                .with_pattern(pattern);
-                let fc = flood.period_counts(counts.len(), OBSERVATION_PERIOD, &mut rng);
-                for (c, f) in counts.iter_mut().zip(&fc) {
-                    c.merge(*f);
-                }
-                let mut dog = SynDogDetector::new(config);
-                let mut detected = None;
-                for (i, c) in counts.iter().enumerate() {
-                    if dog.observe(to_counts(c)).alarm && detected.is_none() && i as u64 >= start {
-                        detected = Some(i as u64);
-                    }
-                }
-                TrialOutcome {
-                    attack_start_period: start,
-                    detected_at_period: detected,
-                    false_alarms_before_attack: 0,
-                }
-            })
-            .collect();
+        let start = 15u64;
+        let outcomes: Vec<TrialOutcome> = run_indexed(30, Parallelism::Auto, |t| {
+            let flood = SynFlood::constant(
+                60.0,
+                SimTime::ZERO + OBSERVATION_PERIOD * start,
+                SimDuration::from_secs(600),
+                victim(),
+            )
+            .with_pattern(pattern);
+            let scenario = Scenario::single(
+                "pattern",
+                site.clone(),
+                config,
+                Some(flood),
+                seed + t as u64 * 131,
+            );
+            trial_outcome(&Fleet::new(scenario).run_counts())
+        });
         let summary = DetectionSummary::from_trials(&outcomes);
         table.row(vec![
             name.to_string(),
@@ -1465,6 +1469,7 @@ pub fn all_experiments(seed: u64) -> Vec<ExperimentOutput> {
         table3(seed),
         fig9(seed),
         disc(seed),
+        fleet(seed),
         ablate_patterns(seed),
         ablate_t0(seed),
         ablate_normalization(seed),
@@ -1491,6 +1496,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "table2" => table2(seed),
         "table3" => table3(seed),
         "disc" => disc(seed),
+        "fleet" => fleet(seed),
         "ablate-patterns" => ablate_patterns(seed),
         "ablate-t0" => ablate_t0(seed),
         "ablate-normalization" => ablate_normalization(seed),
@@ -1518,6 +1524,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "table2",
     "table3",
     "disc",
+    "fleet",
     "ablate-patterns",
     "ablate-t0",
     "ablate-normalization",

@@ -7,9 +7,18 @@
 //! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
 //! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
+//! syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--faults SPEC] [--csv FILE] [--metrics DEST]
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
+//!
+//! `fleet` runs the paper's distributed deployment in one shot: `--stubs`
+//! copies of the `--site` workload re-homed into disjoint `128.i.0.0/16`
+//! prefixes, a DDoS campaign of `--total-rate` SYN/s split across the
+//! `--attackers` stub indices, one SYN-dog agent per stub on the
+//! deterministic parallel runner, and a per-stub report (first alarm,
+//! delay, false alarms, suspect MAC) with `IMPLICATED <cidr>` lines and a
+//! traceback topology cross-check. Output is identical for any `--jobs`.
 //!
 //! Trace files use the pcap format when the name ends in `.pcap`, the
 //! compact binary trace format otherwise. `detect` and `locate` run the
@@ -40,9 +49,10 @@ use syndog::{theory, SynDogConfig};
 use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
 use syndog_router::{
-    Checkpoint, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, OverflowPolicy,
-    PcapSource, SourceLocator, SynDogAgent, TraceSource, DEFAULT_BATCH_SIZE,
+    Checkpoint, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, Fleet, OverflowPolicy,
+    PcapSource, Scenario, SourceLocator, SynDogAgent, TraceSource, DEFAULT_BATCH_SIZE,
 };
+use syndog_sim::par::Parallelism;
 use syndog_sim::{SimDuration, SimRng, SimTime};
 use syndog_telemetry::{export, ExportFormat, ScrapeServer, Telemetry};
 use syndog_traffic::{Direction, SiteProfile, Trace, TraceRecord};
@@ -60,6 +70,7 @@ fn main() -> ExitCode {
         "sniff" => cmd_sniff(rest),
         "replay" => cmd_replay(rest),
         "locate" => cmd_locate(rest),
+        "fleet" => cmd_fleet(rest),
         "stats" => cmd_stats(rest),
         "theory" => cmd_theory(rest),
         "--help" | "-h" | "help" => {
@@ -84,6 +95,7 @@ const USAGE: &str = "usage:
   syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
   syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
+  syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
@@ -108,7 +120,16 @@ summary. --checkpoint FILE writes a versioned, CRC-checked snapshot of
 the detector and router state after the run; --resume FILE restores
 one and continues the input trace from the checkpoint's period
 boundary, keeping the learned K. The checkpoint carries the detector
-configuration, so --tuned/--t0 are rejected alongside --resume.";
+configuration, so --tuned/--t0 are rejected alongside --resume.
+
+fleet simulates the paper's distributed deployment: --stubs copies of
+the --site workload in disjoint 128.i.0.0/16 prefixes, one SYN-dog per
+stub, and a DDoS campaign of --total-rate SYN/s split across the
+--attackers stub indices (comma-separated). The report lists per-stub
+first alarms, delays, false alarms and suspect MACs, prints IMPLICATED
+lines for alarming stubs, and cross-checks against traceback topology.
+--counts runs the cheaper count-level path (no MAC localization);
+--jobs caps workers without changing any output byte.";
 
 /// Minimal `--flag value` / `--switch` argument map.
 struct Flags {
@@ -716,6 +737,93 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
 /// Reads a JSON Lines metrics dump (written by `--metrics FILE.jsonl`)
 /// and prints a human summary, or re-renders it in another exporter
 /// format with `--format`.
+/// Parses `--attackers` as comma-separated stub indices.
+fn parse_attackers(raw: &str, stubs: usize) -> Result<Vec<usize>, String> {
+    let indices: Vec<usize> = raw
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("invalid --attackers entry: {part}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if let Some(&bad) = indices.iter().find(|&&i| i >= stubs) {
+        return Err(format!(
+            "--attackers index {bad} outside the {stubs}-stub fleet"
+        ));
+    }
+    Ok(indices)
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["counts"])?;
+    let stubs: usize = flags.parse_value("stubs", 4)?;
+    if stubs == 0 || stubs > 255 {
+        return Err("--stubs must be in 1..=255".into());
+    }
+    let mut template = site_by_name(flags.get("site").unwrap_or("auckland"))?;
+    if let Some(raw) = flags.get("site-minutes") {
+        let minutes: f64 = raw
+            .parse()
+            .map_err(|_| format!("invalid --site-minutes: {raw}"))?;
+        if minutes <= 0.0 {
+            return Err("--site-minutes must be positive".into());
+        }
+        template = template.with_duration(SimDuration::from_secs_f64(minutes * 60.0));
+    }
+    let attacked = parse_attackers(flags.get("attackers").unwrap_or("0"), stubs)?;
+    let total_rate: f64 = flags.parse_value("total-rate", 20.0)?;
+    if total_rate <= 0.0 {
+        return Err("--total-rate must be positive".into());
+    }
+    let start: f64 = flags.parse_value("start", 600.0)?;
+    let attack_duration: f64 = flags.parse_value("attack-duration", 600.0)?;
+    let seed: u64 = flags.parse_value("seed", 1)?;
+    let mut scenario = Scenario::distributed_flood(
+        "fleet",
+        &template,
+        stubs,
+        &attacked,
+        total_rate,
+        SimTime::from_secs_f64(start),
+        victim(),
+        SynDogConfig::paper_default(),
+        seed,
+    );
+    for stub in &mut scenario.stubs {
+        if let Some(flood) = &mut stub.attack {
+            flood.duration = SimDuration::from_secs_f64(attack_duration);
+        }
+    }
+    if let Some(faults) = faults_flag(&flags)? {
+        scenario = scenario.with_faults(faults);
+    }
+    let mut fleet = Fleet::new(scenario);
+    if let Some(raw) = flags.get("jobs") {
+        let jobs: usize = raw.parse().map_err(|_| format!("invalid --jobs: {raw}"))?;
+        fleet = fleet.with_parallelism(Parallelism::Fixed(jobs));
+    }
+    let hub = Arc::new(Telemetry::new());
+    let sink = metrics_sink(&flags, &hub)?;
+    if sink.is_some() {
+        fleet = fleet.with_telemetry(Arc::clone(&hub));
+    }
+    let report = if flags.has("counts") {
+        fleet.run_counts()
+    } else {
+        fleet.run()
+    };
+    print!("{}", report.render());
+    if let Some(path) = flags.get("csv") {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote fleet report to {path}");
+    }
+    if let Some(sink) = sink {
+        sink.finish(&hub)?;
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let input = flags.require("in")?;
@@ -856,6 +964,51 @@ mod tests {
         let flags = Flags::parse(&args(&["--rate", "abc"]), &[]).unwrap();
         assert!(flags.parse_value::<f64>("rate", 0.0).is_err());
         assert!(flags.require("missing").is_err());
+    }
+
+    #[test]
+    fn attackers_parse_validates_indices() {
+        assert_eq!(parse_attackers("0", 4).unwrap(), vec![0]);
+        assert_eq!(parse_attackers("1, 3", 4).unwrap(), vec![1, 3]);
+        assert!(parse_attackers("4", 4).is_err());
+        assert!(parse_attackers("x", 4).is_err());
+    }
+
+    #[test]
+    fn fleet_runs_end_to_end_and_writes_csv() {
+        let csv = std::env::temp_dir().join("syndog_test_fleet.csv");
+        let csv = csv.to_str().unwrap().to_string();
+        cmd_fleet(&args(&[
+            "--stubs",
+            "3",
+            "--attackers",
+            "1",
+            "--site-minutes",
+            "20",
+            "--total-rate",
+            "10",
+            "--start",
+            "300",
+            "--attack-duration",
+            "300",
+            "--seed",
+            "5",
+            "--jobs",
+            "2",
+            "--csv",
+            &csv,
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&csv).unwrap();
+        assert!(written.starts_with("stub,prefix,"));
+        assert_eq!(written.lines().count(), 4, "header + one row per stub");
+        let _ = std::fs::remove_file(&csv);
+        // The count-level path and validation errors.
+        cmd_fleet(&args(&["--stubs", "2", "--counts", "--site-minutes", "10"])).unwrap();
+        assert!(cmd_fleet(&args(&["--stubs", "0"])).is_err());
+        assert!(cmd_fleet(&args(&["--attackers", "9"])).is_err());
+        assert!(cmd_fleet(&args(&["--total-rate", "0"])).is_err());
+        assert!(cmd_fleet(&args(&["--site-minutes", "-5"])).is_err());
     }
 
     #[test]

@@ -75,6 +75,22 @@ impl SynDogAgent {
         self
     }
 
+    /// Attaches a telemetry hub with this agent's stub prefix as a
+    /// `stub="<cidr>"` label on every per-agent series, so fleets of
+    /// agents can share one hub without colliding (e.g.
+    /// `syndog_alarms_total{stub="128.3.0.0/16"}`).
+    pub fn set_stub_telemetry(&mut self, hub: Arc<Telemetry>) {
+        let stub = self.router.stub().to_string();
+        self.telemetry = Some(AgentTelemetry::with_labels(hub, &[("stub", &stub)]));
+    }
+
+    /// Builder-style variant of [`SynDogAgent::set_stub_telemetry`].
+    #[must_use]
+    pub fn with_stub_telemetry(mut self, hub: Arc<Telemetry>) -> Self {
+        self.set_stub_telemetry(hub);
+        self
+    }
+
     /// The underlying router.
     pub fn router(&self) -> &LeafRouter {
         &self.router

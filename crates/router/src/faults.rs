@@ -212,6 +212,41 @@ impl Default for FaultSpec {
     }
 }
 
+impl std::fmt::Display for FaultSpec {
+    /// Renders the spec in the exact syntax [`FaultSpec::parse`] accepts,
+    /// emitting only non-default keys (the off spec with seed 0 renders as
+    /// the empty string), so `parse(&spec.to_string())` reconstructs the
+    /// spec — the round-trip the property tests pin down.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if self.drop != 0.0 {
+            parts.push(format!("drop={}", self.drop));
+        }
+        if self.duplicate != 0.0 {
+            parts.push(format!("dup={}", self.duplicate));
+        }
+        if self.reorder_window != 0 {
+            parts.push(format!("reorder={}", self.reorder_window));
+        }
+        if self.truncate != 0.0 {
+            parts.push(format!("truncate={}", self.truncate));
+        }
+        if self.corrupt != 0.0 {
+            parts.push(format!("corrupt={}", self.corrupt));
+        }
+        if !self.jitter.is_zero() {
+            parts.push(format!(
+                "jitter_ms={}",
+                self.jitter.as_micros() as f64 / 1000.0
+            ));
+        }
+        if self.seed != 0 {
+            parts.push(format!("seed={}", self.seed));
+        }
+        f.write_str(&parts.join(","))
+    }
+}
+
 /// Running tally of what a fault injector did to its stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultLedger {
@@ -632,6 +667,57 @@ mod tests {
             "explode=0.5",  // unknown key
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn display_emits_only_non_default_keys() {
+        assert_eq!(FaultSpec::off().to_string(), "");
+        let spec = FaultSpec {
+            drop: 0.05,
+            reorder_window: 8,
+            jitter: SimDuration::from_millis(5),
+            seed: 42,
+            ..FaultSpec::off()
+        };
+        assert_eq!(spec.to_string(), "drop=0.05,reorder=8,jitter_ms=5,seed=42");
+        // Sub-millisecond jitter survives via a fractional jitter_ms.
+        let fine = FaultSpec {
+            jitter: SimDuration::from_micros(1500),
+            ..FaultSpec::off()
+        };
+        assert_eq!(fine.to_string(), "jitter_ms=1.5");
+        assert_eq!(FaultSpec::parse(&fine.to_string()).unwrap(), fine);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// Display is the exact inverse of parse for every representable
+        /// spec: probabilities anywhere in [0, 1] (f64 Display is the
+        /// shortest round-tripping decimal), any window, any seed, and
+        /// whole-microsecond jitter (jitter_ms accepts fractions).
+        #[test]
+        fn display_parse_round_trips(
+            (millidrop, millidup, millitrunc, millicorrupt) in
+                (0u32..=1000, 0u32..=1000, 0u32..=1000, 0u32..=1000),
+            reorder_window in 0usize..64,
+            jitter_us in 0u64..2_000_000,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let spec = FaultSpec {
+                drop: f64::from(millidrop) / 1000.0,
+                duplicate: f64::from(millidup) / 1000.0,
+                reorder_window,
+                truncate: f64::from(millitrunc) / 1000.0,
+                corrupt: f64::from(millicorrupt) / 1000.0,
+                jitter: SimDuration::from_micros(jitter_us),
+                seed,
+            };
+            let rendered = spec.to_string();
+            let parsed = FaultSpec::parse(&rendered)
+                .map_err(proptest::prelude::TestCaseError::fail)?;
+            proptest::prop_assert_eq!(parsed, spec, "rendered as `{}`", rendered);
         }
     }
 

@@ -1,0 +1,794 @@
+//! Fleet-of-agents deployment: one [`Scenario`], many stubs, one report.
+//!
+//! The paper's core deployment claim (§4.2) is *distributed*: a SYN-dog at
+//! every leaf router, so that an alarm **is** localization to the flooding
+//! stub, and a DDoS master that spreads its aggregate rate `V` over `A`
+//! stub networks keeps each source at `f_i = V / A` — below a single
+//! big-vantage detector's `f_min`, yet still above the per-stub bound of
+//! the small networks it actually hides in. This module models that world:
+//!
+//! - [`Scenario`] — the declarative spec: stubs with CIDR prefixes, a
+//!   per-stub [`SiteProfile`] workload, attack placement (optionally built
+//!   from a [`DdosCampaign`]), optional faults, and one master seed.
+//! - [`Fleet`] — the runner: one [`SynDogAgent`] per stub on a thread
+//!   scope ([`syndog_sim::par`]), each driven by a seed derived purely
+//!   from `(master_seed, stub index)` — so the run is bit-for-bit
+//!   deterministic regardless of worker count.
+//! - [`FleetReport`] — per-stub first-alarm time, detection delay, false
+//!   alarms, which stub is implicated, and (trace-level runs) the suspect
+//!   MAC from post-alarm [`SourceLocator`] accounting; cross-checkable
+//!   against a `syndog-traceback` attack tree via
+//!   [`FleetReport::topology_cross_check`].
+//!
+//! # Seed derivation
+//!
+//! Stub `i` draws its workload RNG from `derive_seed(master, 2·i)` and its
+//! fault-injection seed from `derive_seed(master, 2·i + 1)`; the topology
+//! cross-check tree uses the dedicated stream `u64::MAX`. [`derive_seed`]
+//! is a SplitMix64 mix, so streams are statistically independent and the
+//! whole fleet is a pure function of the master seed.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::sync::Arc;
+
+use syndog::{Detection, SynDogConfig};
+use syndog_attack::{DdosCampaign, SynFlood};
+use syndog_net::{Ipv4Net, MacAddr};
+use syndog_sim::par::{run_indexed, Parallelism};
+use syndog_sim::{SimRng, SimTime};
+use syndog_telemetry::Telemetry;
+use syndog_traceback::{AttackPath, RouterId};
+use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
+use syndog_traffic::trace::Trace;
+
+use crate::agent::SynDogAgent;
+use crate::faults::FaultSpec;
+use crate::locate::{SourceLocator, Suspect};
+
+/// Derives an independent seed for stream `stream` of a master seed
+/// (SplitMix64 finalizer over `master + (stream + 1)·γ`). Pure, so fleet
+/// runs are deterministic for any work scheduling.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The derived-stream index of the topology cross-check tree.
+const TOPOLOGY_STREAM: u64 = u64::MAX;
+
+/// One stub network in a scenario: a name, a workload, and optionally a
+/// flooding source planted inside it.
+#[derive(Debug, Clone)]
+pub struct StubSpec {
+    /// Display name (report rows, telemetry debugging).
+    pub name: String,
+    /// The background workload; its prefix (see [`SiteProfile::rehomed`])
+    /// is the stub's CIDR.
+    pub site: SiteProfile,
+    /// A flooding slave inside this stub, if the scenario attacks it.
+    pub attack: Option<SynFlood>,
+}
+
+impl StubSpec {
+    /// A clean stub running only background traffic.
+    pub fn clean(name: impl Into<String>, site: SiteProfile) -> Self {
+        StubSpec {
+            name: name.into(),
+            site,
+            attack: None,
+        }
+    }
+
+    /// A stub hosting a flooding source.
+    pub fn attacked(name: impl Into<String>, site: SiteProfile, flood: SynFlood) -> Self {
+        StubSpec {
+            name: name.into(),
+            site,
+            attack: Some(flood),
+        }
+    }
+
+    /// The stub's CIDR prefix.
+    pub fn stub(&self) -> Ipv4Net {
+        self.site.stub()
+    }
+}
+
+/// A declarative multi-stub scenario: what the fleet runs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (report header, experiment CSVs).
+    pub name: String,
+    /// The stubs, in report order. Stub `i` uses derived seed stream `2i`.
+    pub stubs: Vec<StubSpec>,
+    /// Detector configuration shared by every agent.
+    pub config: SynDogConfig,
+    /// Optional fault injection applied to every stub's record stream
+    /// (each stub gets its own derived fault seed).
+    pub faults: Option<FaultSpec>,
+    /// The master seed every per-stub seed derives from.
+    pub master_seed: u64,
+}
+
+impl Scenario {
+    /// An empty scenario; push [`StubSpec`]s onto `stubs`.
+    pub fn new(name: impl Into<String>, config: SynDogConfig, master_seed: u64) -> Self {
+        Scenario {
+            name: name.into(),
+            stubs: Vec::new(),
+            config,
+            faults: None,
+            master_seed,
+        }
+    }
+
+    /// A one-stub scenario — the bench experiments' count-level trials
+    /// build on this instead of hand-rolled wiring.
+    pub fn single(
+        name: impl Into<String>,
+        site: SiteProfile,
+        config: SynDogConfig,
+        attack: Option<SynFlood>,
+        master_seed: u64,
+    ) -> Self {
+        let mut scenario = Scenario::new(name, config, master_seed);
+        let stub_name = site.name().to_string();
+        scenario.stubs.push(StubSpec {
+            name: stub_name,
+            site,
+            attack,
+        });
+        scenario
+    }
+
+    /// The synthetic CIDR prefix fleet stub `index` is homed in:
+    /// `128.<index>.0.0/16` (public-routable space, so the ingress-filter
+    /// spoof test keeps working).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 255`.
+    pub fn fleet_prefix(index: usize) -> Ipv4Net {
+        assert!(index <= 255, "fleet prefix index {index} exceeds 255");
+        Ipv4Net::new(Ipv4Addr::new(128, index as u8, 0, 0), 16)
+    }
+
+    /// `count` clean stubs all running the same workload template,
+    /// re-homed into disjoint prefixes and MAC namespaces.
+    pub fn uniform(
+        name: impl Into<String>,
+        template: &SiteProfile,
+        count: usize,
+        config: SynDogConfig,
+        master_seed: u64,
+    ) -> Self {
+        let mut scenario = Scenario::new(name, config, master_seed);
+        for i in 0..count {
+            // Site-id namespace 0x100+ keeps fleet host MACs clear of both
+            // the four real sites (0–3) and DDoS slave MACs (0xff00+).
+            let site = template
+                .clone()
+                .rehomed(Self::fleet_prefix(i), 0x100 + i as u16);
+            scenario
+                .stubs
+                .push(StubSpec::clean(format!("{}-{i}", template.name()), site));
+        }
+        scenario
+    }
+
+    /// The paper's DDoS case: a [`DdosCampaign`] of aggregate rate
+    /// `total_rate` split evenly across the stubs listed in `attacked`
+    /// (indices into a `count`-stub uniform fleet), each slave carrying
+    /// its own deterministic MAC. With enough attacked stubs each source
+    /// stays below a single-point `f_min` while every hosting stub's own
+    /// SYN-dog still sees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attacked` is empty or names an index `>= count`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn distributed_flood(
+        name: impl Into<String>,
+        template: &SiteProfile,
+        count: usize,
+        attacked: &[usize],
+        total_rate: f64,
+        start: SimTime,
+        target: SocketAddrV4,
+        config: SynDogConfig,
+        master_seed: u64,
+    ) -> Self {
+        assert!(!attacked.is_empty(), "a distributed flood needs sources");
+        let mut scenario = Self::uniform(name, template, count, config, master_seed);
+        let campaign = DdosCampaign::new(total_rate, attacked.len(), start, target);
+        for (slave, &stub_index) in attacked.iter().enumerate() {
+            assert!(
+                stub_index < count,
+                "attacked stub {stub_index} outside the {count}-stub fleet"
+            );
+            scenario.stubs[stub_index].attack = Some(campaign.slave(slave));
+        }
+        scenario
+    }
+
+    /// Returns the scenario with fault injection enabled (each stub gets
+    /// its own derived fault seed; the `seed` field of `spec` is ignored).
+    #[must_use]
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// The workload seed for stub `index` (derived stream `2·index`).
+    pub fn stub_seed(&self, index: usize) -> u64 {
+        derive_seed(self.master_seed, 2 * index as u64)
+    }
+
+    /// The fault spec for stub `index`, re-seeded from derived stream
+    /// `2·index + 1`; `None` when the scenario injects no faults.
+    pub fn stub_faults(&self, index: usize) -> Option<FaultSpec> {
+        self.faults.filter(|f| !f.is_off()).map(|f| FaultSpec {
+            seed: derive_seed(self.master_seed, 2 * index as u64 + 1),
+            ..f
+        })
+    }
+
+    /// Ground-truth indices of the attacked stubs.
+    pub fn attacked_indices(&self) -> Vec<usize> {
+        self.stubs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.attack.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The fleet runner: executes a [`Scenario`], one agent per stub.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    scenario: Scenario,
+    parallelism: Parallelism,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl Fleet {
+    /// A runner over the scenario, defaulting to all available cores.
+    pub fn new(scenario: Scenario) -> Self {
+        Fleet {
+            scenario,
+            parallelism: Parallelism::Auto,
+            telemetry: None,
+        }
+    }
+
+    /// Caps (or pins) the worker count. The report is identical for any
+    /// value; only wall-clock time changes.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Attaches a shared telemetry hub: every agent registers its series
+    /// under a `stub="<cidr>"` label (see
+    /// [`SynDogAgent::set_stub_telemetry`]), so per-stub metrics coexist
+    /// on one hub.
+    #[must_use]
+    pub fn with_telemetry(mut self, hub: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(hub);
+        self
+    }
+
+    /// The scenario this runner executes.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Trace-level run: full record streams with addresses and MACs
+    /// through every agent, then post-alarm [`SourceLocator`] accounting
+    /// from the first alarm to the end of the trace — so implicated stubs
+    /// also name the suspect MAC.
+    pub fn run(&self) -> FleetReport {
+        let stubs = run_indexed(self.scenario.stubs.len(), self.parallelism, |i| {
+            self.run_stub_trace(i)
+        });
+        self.report(stubs)
+    }
+
+    /// Count-level fast path: per-period SYN / SYN-ACK counts through the
+    /// detector only. No addresses or MACs, so no suspect localization,
+    /// and fault injection (a record-stream concept) is not applied. Bins
+    /// at the paper's [`OBSERVATION_PERIOD`], like every count-level
+    /// experiment.
+    pub fn run_counts(&self) -> FleetReport {
+        let (report, _) = self.run_counts_with_detections();
+        report
+    }
+
+    /// [`Fleet::run_counts`], also returning each stub's full per-period
+    /// [`Detection`] series (the `y_n` plots the bench experiments draw).
+    pub fn run_counts_with_detections(&self) -> (FleetReport, Vec<Vec<Detection>>) {
+        let results = run_indexed(self.scenario.stubs.len(), self.parallelism, |i| {
+            self.run_stub_counts(i)
+        });
+        let mut stubs = Vec::with_capacity(results.len());
+        let mut detections = Vec::with_capacity(results.len());
+        for (report, series) in results {
+            stubs.push(report);
+            detections.push(series);
+        }
+        (self.report(stubs), detections)
+    }
+
+    fn report(&self, stubs: Vec<StubReport>) -> FleetReport {
+        FleetReport {
+            scenario: self.scenario.name.clone(),
+            master_seed: self.scenario.master_seed,
+            stubs,
+        }
+    }
+
+    fn new_agent(&self, spec: &StubSpec) -> SynDogAgent {
+        let mut agent = SynDogAgent::new(spec.stub(), self.scenario.config);
+        if let Some(hub) = &self.telemetry {
+            agent.set_stub_telemetry(Arc::clone(hub));
+        }
+        agent
+    }
+
+    /// Builds stub `i`'s full trace: background workload, plus the
+    /// planted flood, plus per-stub-seeded faults.
+    fn stub_trace(&self, index: usize) -> Trace {
+        let spec = &self.scenario.stubs[index];
+        let mut rng = SimRng::seed_from_u64(self.scenario.stub_seed(index));
+        let mut trace = spec.site.generate_trace(&mut rng);
+        if let Some(flood) = &spec.attack {
+            trace.merge(&flood.generate_trace(&mut rng));
+        }
+        match self.scenario.stub_faults(index) {
+            Some(faults) => faults.apply_to_trace(&trace).0,
+            None => trace,
+        }
+    }
+
+    fn run_stub_trace(&self, index: usize) -> StubReport {
+        let spec = &self.scenario.stubs[index];
+        let trace = self.stub_trace(index);
+        let mut agent = self.new_agent(spec);
+        agent.run_trace(&trace);
+        // The paper's post-alarm localization: arm ingress-filter MAC
+        // accounting at the first alarm and sweep the rest of the trace.
+        let suspect = agent.first_alarm().and_then(|alarm| {
+            let mut locator = SourceLocator::new(spec.stub());
+            locator.arm();
+            for record in trace.records().iter().filter(|r| r.time >= alarm.time) {
+                locator.observe(record);
+            }
+            locator.suspects().into_iter().next()
+        });
+        StubReport::from_run(spec, &agent, suspect)
+    }
+
+    fn run_stub_counts(&self, index: usize) -> (StubReport, Vec<Detection>) {
+        let spec = &self.scenario.stubs[index];
+        let mut rng = SimRng::seed_from_u64(self.scenario.stub_seed(index));
+        let mut counts = spec.site.generate_period_counts(&mut rng);
+        if let Some(flood) = &spec.attack {
+            let flood_counts = flood.period_counts(counts.len(), OBSERVATION_PERIOD, &mut rng);
+            for (c, f) in counts.iter_mut().zip(&flood_counts) {
+                c.merge(*f);
+            }
+        }
+        let mut agent = self.new_agent(spec);
+        let detections = counts
+            .into_iter()
+            .map(|sample| agent.observe_period(sample))
+            .collect();
+        (StubReport::from_run(spec, &agent, None), detections)
+    }
+}
+
+/// One stub's row in the fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StubReport {
+    /// Stub display name.
+    pub name: String,
+    /// The stub's CIDR prefix.
+    pub stub: Ipv4Net,
+    /// Observation periods the agent closed.
+    pub periods: u64,
+    /// Ground truth: does the scenario plant a flooding source here?
+    pub attacked: bool,
+    /// The planted flood's rate in SYN/s (`0` for clean stubs).
+    pub attack_rate: f64,
+    /// The period the planted flood starts in.
+    pub attack_start_period: Option<u64>,
+    /// The agent's verdict: did it raise any alarm? In the first-mile
+    /// deployment an alarm *is* localization to this stub.
+    pub implicated: bool,
+    /// Period index of the first alarm.
+    pub first_alarm_period: Option<u64>,
+    /// Simulated seconds of the first alarm (end of the alarming period).
+    pub first_alarm_secs: Option<f64>,
+    /// `first alarm at/after attack start − attack start`, in periods —
+    /// the paper's detection-time measure. `None` for clean stubs or
+    /// misses.
+    pub detection_delay_periods: Option<u64>,
+    /// Alarming periods before the attack started (all alarming periods,
+    /// for clean stubs).
+    pub false_alarm_periods: u64,
+    /// Dominant spoofed-SYN MAC from post-alarm localization (trace-level
+    /// runs only).
+    pub suspect_mac: Option<MacAddr>,
+    /// That MAC's share of all spoofed SYNs seen while armed.
+    pub suspect_share: f64,
+    /// Whether the suspect MAC is the planted attacker's (`None` when
+    /// there is no suspect or no planted attack).
+    pub suspect_is_attacker: Option<bool>,
+}
+
+impl StubReport {
+    fn from_run(spec: &StubSpec, agent: &SynDogAgent, suspect: Option<Suspect>) -> Self {
+        let attack_start_period = spec
+            .attack
+            .as_ref()
+            .map(|f| f.start.period_index(agent.router().period()));
+        let first_alarm = agent.first_alarm();
+        let detection_delay_periods = attack_start_period.and_then(|start| {
+            agent
+                .alarms()
+                .iter()
+                .find(|a| a.period >= start)
+                .map(|a| a.period - start)
+        });
+        let false_alarm_periods = agent
+            .detections()
+            .iter()
+            .filter(|d| d.alarm && attack_start_period.is_none_or(|start| d.period < start))
+            .count() as u64;
+        StubReport {
+            name: spec.name.clone(),
+            stub: spec.stub(),
+            periods: agent.detections().len() as u64,
+            attacked: spec.attack.is_some(),
+            attack_rate: spec.attack.as_ref().map_or(0.0, |f| f.rate),
+            attack_start_period,
+            implicated: first_alarm.is_some(),
+            first_alarm_period: first_alarm.map(|a| a.period),
+            first_alarm_secs: first_alarm.map(|a| a.time.as_secs_f64()),
+            detection_delay_periods,
+            false_alarm_periods,
+            suspect_is_attacker: suspect
+                .as_ref()
+                .and_then(|s| spec.attack.as_ref().map(|f| s.mac == f.attacker_mac)),
+            suspect_mac: suspect.as_ref().map(|s| s.mac),
+            suspect_share: suspect.as_ref().map_or(0.0, |s| s.share),
+        }
+    }
+}
+
+/// The fleet's cross-check against `syndog-traceback` topology
+/// localization: the leaf routers the report implicates vs the leaf
+/// routers at the sources of the scenario's attack tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyCheck {
+    /// Leaf routers of the ground-truth attacked stubs, sorted.
+    pub expected_sources: Vec<RouterId>,
+    /// Leaf routers of the implicated stubs, sorted.
+    pub implicated_sources: Vec<RouterId>,
+}
+
+impl TopologyCheck {
+    /// Whether first-mile implication names exactly the attack tree's
+    /// source leaves — i.e. the fleet localized without any traceback.
+    pub fn matches(&self) -> bool {
+        self.expected_sources == self.implicated_sources
+    }
+}
+
+/// The assembled fleet result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// The master seed the run derived everything from.
+    pub master_seed: u64,
+    /// One row per stub, in scenario order.
+    pub stubs: Vec<StubReport>,
+}
+
+impl FleetReport {
+    /// The stubs the fleet implicates (any alarm raised).
+    pub fn implicated(&self) -> Vec<&StubReport> {
+        self.stubs.iter().filter(|s| s.implicated).collect()
+    }
+
+    /// Exact localization: the implicated set equals the attacked set,
+    /// and no trace-level suspect contradicts the planted attacker.
+    pub fn localization_correct(&self) -> bool {
+        self.stubs
+            .iter()
+            .all(|s| s.implicated == s.attacked && s.suspect_is_attacker != Some(false))
+    }
+
+    /// Builds the scenario's attack tree (one path per stub, deterministic
+    /// from the master seed; `RouterId`s at path position 0 are the leaf
+    /// routers) and compares its attacked-source leaves with the leaves
+    /// the fleet implicates.
+    pub fn topology_cross_check(&self) -> TopologyCheck {
+        let mut rng = SimRng::seed_from_u64(derive_seed(self.master_seed, TOPOLOGY_STREAM));
+        let paths = AttackPath::tree(self.stubs.len(), 5, 2, &mut rng);
+        let leaves = |pred: &dyn Fn(&StubReport) -> bool| {
+            let mut ids: Vec<RouterId> = self
+                .stubs
+                .iter()
+                .zip(&paths)
+                .filter(|(s, _)| pred(s))
+                .map(|(_, p)| p.routers()[0])
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        TopologyCheck {
+            expected_sources: leaves(&|s| s.attacked),
+            implicated_sources: leaves(&|s| s.implicated),
+        }
+    }
+
+    /// A fixed-format human-readable table. Byte-stable for a given
+    /// report, so worker-count determinism can be asserted on the text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet {} (seed {}, {} stubs)\n{:<14} {:<18} {:>8} {:>7} {:>7} {:>6}  suspect\n",
+            self.scenario,
+            self.master_seed,
+            self.stubs.len(),
+            "stub",
+            "prefix",
+            "attacked",
+            "alarm@",
+            "delay",
+            "false",
+        );
+        for s in &self.stubs {
+            let alarm = s
+                .first_alarm_period
+                .map_or("-".to_string(), |p| format!("p{p}"));
+            let delay = s
+                .detection_delay_periods
+                .map_or("-".to_string(), |d| d.to_string());
+            let suspect = match (&s.suspect_mac, s.suspect_is_attacker) {
+                (Some(mac), Some(true)) => format!("{mac} (attacker, {:.3})", s.suspect_share),
+                (Some(mac), _) => format!("{mac} ({:.3})", s.suspect_share),
+                (None, _) => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<14} {:<18} {:>8} {:>7} {:>7} {:>6}  {}\n",
+                s.name,
+                s.stub.to_string(),
+                if s.attacked { "yes" } else { "no" },
+                alarm,
+                delay,
+                s.false_alarm_periods,
+                suspect,
+            ));
+        }
+        for s in self.implicated() {
+            out.push_str(&format!("IMPLICATED {}\n", s.stub));
+        }
+        let check = self.topology_cross_check();
+        out.push_str(&format!(
+            "topology cross-check: {} ({} expected source(s), {} implicated)\n",
+            if check.matches() { "MATCH" } else { "MISMATCH" },
+            check.expected_sources.len(),
+            check.implicated_sources.len(),
+        ));
+        out
+    }
+
+    /// The report as CSV (one row per stub), byte-stable like
+    /// [`FleetReport::render`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "stub,prefix,periods,attacked,attack_rate,attack_start_period,implicated,\
+             first_alarm_period,first_alarm_secs,detection_delay_periods,false_alarm_periods,\
+             suspect_mac,suspect_share,suspect_is_attacker\n",
+        );
+        let opt = |v: Option<u64>| v.map_or(String::new(), |v| v.to_string());
+        for s in &self.stubs {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{}\n",
+                s.name,
+                s.stub,
+                s.periods,
+                s.attacked,
+                s.attack_rate,
+                opt(s.attack_start_period),
+                s.implicated,
+                opt(s.first_alarm_period),
+                s.first_alarm_secs
+                    .map_or(String::new(), |t| format!("{t:.3}")),
+                opt(s.detection_delay_periods),
+                s.false_alarm_periods,
+                s.suspect_mac.map_or(String::new(), |m| m.to_string()),
+                s.suspect_share,
+                s.suspect_is_attacker
+                    .map_or(String::new(), |b| b.to_string()),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_streams_are_distinct_and_stable() {
+        let a = derive_seed(42, 0);
+        assert_eq!(a, derive_seed(42, 0), "pure function");
+        let streams: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let mut unique = streams.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), streams.len(), "no stream collisions");
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0), "master matters");
+    }
+
+    #[test]
+    fn fleet_prefixes_are_disjoint_and_routable() {
+        for i in 0..8 {
+            let net = Scenario::fleet_prefix(i);
+            assert!(net.contains(net.host(1)));
+            for j in 0..8 {
+                if i != j {
+                    assert!(!net.contains(Scenario::fleet_prefix(j).host(1)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_scenario_rehomes_each_stub() {
+        let scenario = Scenario::uniform(
+            "u",
+            &SiteProfile::lbl(),
+            4,
+            SynDogConfig::paper_default(),
+            7,
+        );
+        assert_eq!(scenario.stubs.len(), 4);
+        for (i, stub) in scenario.stubs.iter().enumerate() {
+            assert_eq!(stub.stub(), Scenario::fleet_prefix(i));
+            assert!(stub.attack.is_none());
+        }
+        assert!(scenario.attacked_indices().is_empty());
+    }
+
+    #[test]
+    fn distributed_flood_splits_rate_and_places_slaves() {
+        let scenario = Scenario::distributed_flood(
+            "ddos",
+            &SiteProfile::lbl(),
+            4,
+            &[1, 3],
+            20.0,
+            SimTime::from_secs(100),
+            "192.0.2.80:80".parse().unwrap(),
+            SynDogConfig::paper_default(),
+            7,
+        );
+        assert_eq!(scenario.attacked_indices(), vec![1, 3]);
+        let rates: Vec<f64> = scenario
+            .stubs
+            .iter()
+            .filter_map(|s| s.attack.as_ref().map(|f| f.rate))
+            .collect();
+        assert_eq!(rates, vec![10.0, 10.0]);
+        let macs: Vec<MacAddr> = scenario
+            .stubs
+            .iter()
+            .filter_map(|s| s.attack.as_ref().map(|f| f.attacker_mac))
+            .collect();
+        assert_ne!(macs[0], macs[1], "slaves carry distinct MACs");
+    }
+
+    #[test]
+    fn stub_faults_derive_per_stub_seeds() {
+        let spec = FaultSpec {
+            drop: 0.1,
+            ..FaultSpec::off()
+        };
+        let scenario = Scenario::uniform(
+            "f",
+            &SiteProfile::lbl(),
+            2,
+            SynDogConfig::paper_default(),
+            7,
+        )
+        .with_faults(spec);
+        let f0 = scenario.stub_faults(0).unwrap();
+        let f1 = scenario.stub_faults(1).unwrap();
+        assert_eq!(f0.drop, 0.1);
+        assert_ne!(f0.seed, f1.seed);
+        let clean = Scenario::uniform(
+            "c",
+            &SiteProfile::lbl(),
+            2,
+            SynDogConfig::paper_default(),
+            7,
+        );
+        assert!(clean.stub_faults(0).is_none());
+        let off = clean.with_faults(FaultSpec::off());
+        assert!(off.stub_faults(0).is_none(), "off spec injects nothing");
+    }
+
+    #[test]
+    fn count_level_report_matches_single_agent_semantics() {
+        // One-stub scenario vs a hand-driven detector: same alarms.
+        use syndog::SynDogDetector;
+        let site = SiteProfile::lbl();
+        let config = SynDogConfig::paper_default();
+        let flood = SynFlood::constant(
+            8.0,
+            SimTime::from_secs(600),
+            syndog_sim::SimDuration::from_secs(600),
+            "192.0.2.80:80".parse().unwrap(),
+        );
+        let scenario = Scenario::single("one", site.clone(), config, Some(flood.clone()), 99);
+        let seed = scenario.stub_seed(0);
+        let (report, detections) = Fleet::new(scenario)
+            .with_parallelism(Parallelism::Fixed(1))
+            .run_counts_with_detections();
+
+        // Re-derive by hand with the same stream.
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut counts = site.generate_period_counts(&mut rng);
+        let flood_counts = flood.period_counts(counts.len(), OBSERVATION_PERIOD, &mut rng);
+        for (c, f) in counts.iter_mut().zip(&flood_counts) {
+            c.merge(*f);
+        }
+        let mut dog = SynDogDetector::new(config);
+        let by_hand: Vec<Detection> = counts
+            .iter()
+            .map(|c| {
+                dog.observe(syndog::PeriodCounts {
+                    syn: c.syn,
+                    synack: c.synack,
+                })
+            })
+            .collect();
+        assert_eq!(detections[0], by_hand);
+        let stub = &report.stubs[0];
+        assert_eq!(stub.periods, by_hand.len() as u64);
+        assert_eq!(stub.attack_start_period, Some(30));
+        assert_eq!(
+            stub.implicated,
+            by_hand.iter().any(|d| d.alarm),
+            "implication mirrors the detector"
+        );
+    }
+
+    #[test]
+    fn report_render_and_csv_are_stable() {
+        let scenario = Scenario::uniform(
+            "fmt",
+            &SiteProfile::lbl(),
+            2,
+            SynDogConfig::paper_default(),
+            5,
+        );
+        let fleet = Fleet::new(scenario);
+        let a = fleet.run_counts();
+        let b = fleet.run_counts();
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert!(a.to_csv().starts_with("stub,prefix,"));
+        assert!(a.render().contains("topology cross-check: MATCH"));
+    }
+}

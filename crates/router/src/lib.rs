@@ -25,6 +25,11 @@
 //! - [`concurrent`] — the two-thread shared-memory deployment shape
 //!   described in the paper, with supervised sniffer threads feeding
 //!   lock-free atomic counters from batched frame channels,
+//! - [`fleet`] — the distributed deployment the paper actually argues
+//!   for: a declarative [`Scenario`] of stub networks (each with its own
+//!   workload and optional flooding slave) run by a [`Fleet`] of agents on
+//!   a deterministic thread scope, reporting per-stub alarms, delays and
+//!   localization cross-checked against `syndog-traceback` topology,
 //! - [`faults`] — deterministic, seeded fault injection
 //!   ([`FaultInjector`]) composing onto any [`FrameSource`], for proving
 //!   detection degrades gracefully under loss / reordering / corruption,
@@ -44,6 +49,7 @@ pub mod checkpoint;
 pub mod concurrent;
 pub mod episodes;
 pub mod faults;
+pub mod fleet;
 pub mod locate;
 pub mod router;
 pub mod sniffer;
@@ -55,6 +61,7 @@ pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use concurrent::{ConcurrentSynDog, OverflowPolicy};
 pub use episodes::{extract_episodes, AttackEpisode};
 pub use faults::{FaultInjector, FaultLedger, FaultSpec};
+pub use fleet::{derive_seed, Fleet, FleetReport, Scenario, StubReport, StubSpec, TopologyCheck};
 pub use locate::SourceLocator;
 pub use router::LeafRouter;
 pub use sniffer::Sniffer;

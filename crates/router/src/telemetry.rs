@@ -33,6 +33,10 @@
 //! | `syndog_sniffer_restarts_total` | counter | `interface` |
 //! | `syndog_faults_total` | counter | `kind` |
 //!
+//! Fleet deployments register the per-agent and per-interface series via
+//! [`AgentTelemetry::with_labels`] with an extra `stub="<cidr>"` label, so
+//! one hub can carry every stub's agent without collisions.
+//!
 //! [`SynDogAgent::observe_period`]: crate::agent::SynDogAgent::observe_period
 //! [`ConcurrentSynDog`]: crate::concurrent::ConcurrentSynDog
 
@@ -69,18 +73,23 @@ struct InterfaceSeries {
 }
 
 impl InterfaceSeries {
-    fn new(telemetry: &Telemetry, direction: Direction) -> Self {
+    fn new(telemetry: &Telemetry, direction: Direction, extra: &[(&str, &str)]) -> Self {
         let interface = direction_label(direction);
         let registry = telemetry.registry();
+        let with = |name: &str, base: &[(&str, &str)]| {
+            let mut labels: Vec<(&str, &str)> = base.to_vec();
+            labels.extend_from_slice(extra);
+            registry.counter_with(name, &labels)
+        };
         InterfaceSeries {
             kinds: SegmentKind::ALL.map(|kind| {
-                registry.counter_with(
+                with(
                     "syndog_segments_total",
                     &[("interface", interface), ("kind", kind.label())],
                 )
             }),
-            frames: registry.counter_with("syndog_frames_total", &[("interface", interface)]),
-            malformed: registry.counter_with("syndog_malformed_total", &[("interface", interface)]),
+            frames: with("syndog_frames_total", &[("interface", interface)]),
+            malformed: with("syndog_malformed_total", &[("interface", interface)]),
             last_kinds: [0; SegmentKind::ALL.len()],
             last_frames: 0,
             last_malformed: 0,
@@ -125,18 +134,27 @@ pub struct AgentTelemetry {
 impl AgentTelemetry {
     /// Registers every per-agent series on the hub and keeps the handles.
     pub fn new(hub: Arc<Telemetry>) -> Self {
+        Self::with_labels(hub, &[])
+    }
+
+    /// Registers every per-agent series under extra labels. Fleet runs
+    /// pass `[("stub", "<cidr>")]` so many agents can share one hub
+    /// without their series colliding (e.g.
+    /// `syndog_alarms_total{stub="128.3.0.0/16"}`); the labels also ride
+    /// on the per-interface sniffer tallies.
+    pub fn with_labels(hub: Arc<Telemetry>, labels: &[(&str, &str)]) -> Self {
         let registry = hub.registry();
         AgentTelemetry {
-            periods: registry.counter("syndog_periods_total"),
-            syn: registry.counter("syndog_syn_total"),
-            synack: registry.counter("syndog_synack_total"),
-            alarms: registry.counter("syndog_alarms_total"),
-            alarm_active: registry.gauge("syndog_alarm_active"),
-            cusum: registry.gauge("syndog_cusum_statistic"),
-            normalized_delta: registry.gauge("syndog_normalized_delta"),
-            close_micros: registry.histogram("syndog_period_close_micros"),
-            outbound: InterfaceSeries::new(&hub, Direction::Outbound),
-            inbound: InterfaceSeries::new(&hub, Direction::Inbound),
+            periods: registry.counter_with("syndog_periods_total", labels),
+            syn: registry.counter_with("syndog_syn_total", labels),
+            synack: registry.counter_with("syndog_synack_total", labels),
+            alarms: registry.counter_with("syndog_alarms_total", labels),
+            alarm_active: registry.gauge_with("syndog_alarm_active", labels),
+            cusum: registry.gauge_with("syndog_cusum_statistic", labels),
+            normalized_delta: registry.gauge_with("syndog_normalized_delta", labels),
+            close_micros: registry.histogram_with("syndog_period_close_micros", labels),
+            outbound: InterfaceSeries::new(&hub, Direction::Outbound, labels),
+            inbound: InterfaceSeries::new(&hub, Direction::Inbound, labels),
             alarm_was_active: false,
             hub,
         }
@@ -432,6 +450,67 @@ mod tests {
         assert_eq!(
             snap.counter("syndog_frames_total", &[("interface", "outbound")]),
             Some(3)
+        );
+    }
+
+    #[test]
+    fn stub_labeled_agents_do_not_collide_in_prometheus_export() {
+        // Two agents on one hub, each labeled with its own stub prefix:
+        // the export must carry two distinct label sets with their own
+        // values, not one merged series.
+        let hub = Arc::new(Telemetry::new());
+        let mut lbl = AgentTelemetry::with_labels(Arc::clone(&hub), &[("stub", "128.3.0.0/16")]);
+        let mut auck = AgentTelemetry::with_labels(Arc::clone(&hub), &[("stub", "130.216.0.0/16")]);
+        let quiet = Detection {
+            period: 0,
+            delta: 0.0,
+            k_average: 1.0,
+            x: 0.0,
+            statistic: 0.0,
+            alarm: false,
+        };
+        let loud = Detection {
+            statistic: 2.0,
+            alarm: true,
+            period: 1,
+            ..quiet
+        };
+        lbl.record_period(PeriodSample { syn: 5, synack: 5 }, &quiet, 20.0, 10);
+        lbl.record_period(PeriodSample { syn: 50, synack: 5 }, &loud, 40.0, 10);
+        auck.record_period(PeriodSample { syn: 7, synack: 7 }, &quiet, 20.0, 10);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter("syndog_alarms_total", &[("stub", "128.3.0.0/16")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("syndog_alarms_total", &[("stub", "130.216.0.0/16")]),
+            Some(0)
+        );
+        assert_eq!(
+            snap.counter("syndog_syn_total", &[("stub", "128.3.0.0/16")]),
+            Some(55)
+        );
+        assert_eq!(
+            snap.counter("syndog_syn_total", &[("stub", "130.216.0.0/16")]),
+            Some(7)
+        );
+        let prom = syndog_telemetry::export::render_prometheus(&snap);
+        assert!(
+            prom.contains(r#"syndog_alarms_total{stub="128.3.0.0/16"} 1"#),
+            "missing labeled alarm series:\n{prom}"
+        );
+        assert!(
+            prom.contains(r#"syndog_alarms_total{stub="130.216.0.0/16"} 0"#),
+            "missing second stub's series:\n{prom}"
+        );
+        assert!(
+            prom.contains(r#"syndog_periods_total{stub="128.3.0.0/16"} 2"#),
+            "periods must stay per-stub:\n{prom}"
+        );
+        assert!(
+            prom.contains(r#"syndog_periods_total{stub="130.216.0.0/16"} 1"#),
+            "periods must stay per-stub:\n{prom}"
         );
     }
 

@@ -1,0 +1,170 @@
+//! Fleet-level acceptance tests: worker-count determinism and the paper's
+//! distributed-flood localization claim.
+
+use std::sync::Arc;
+
+use syndog::SynDogConfig;
+use syndog_router::fleet::{Fleet, Scenario};
+use syndog_sim::par::Parallelism;
+use syndog_sim::{SimDuration, SimTime};
+use syndog_telemetry::Telemetry;
+use syndog_traffic::sites::SiteProfile;
+
+fn victim() -> std::net::SocketAddrV4 {
+    "199.0.0.80:80".parse().unwrap()
+}
+
+/// A small but non-trivial fleet: 4 Auckland-scale stubs, two of them
+/// hosting slaves of a distributed flood.
+fn ddos_scenario(master_seed: u64) -> Scenario {
+    let template = SiteProfile::auckland().with_duration(SimDuration::from_secs(1800));
+    Scenario::distributed_flood(
+        "ddos-4x2",
+        &template,
+        4,
+        &[1, 3],
+        20.0,
+        SimTime::from_secs(600),
+        victim(),
+        SynDogConfig::paper_default(),
+        master_seed,
+    )
+}
+
+/// The ISSUE's determinism criterion: one scenario seed, three worker
+/// counts, byte-identical fleet reports — for both the trace-level and
+/// the count-level paths.
+#[test]
+fn fleet_report_is_identical_across_worker_counts() {
+    let scenario = ddos_scenario(2024);
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            Fleet::new(scenario.clone())
+                .with_parallelism(Parallelism::Fixed(w))
+                .run()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[0], runs[2]);
+    assert_eq!(runs[0].render(), runs[1].render());
+    assert_eq!(runs[0].render(), runs[2].render());
+    assert_eq!(runs[0].to_csv(), runs[1].to_csv());
+    assert_eq!(runs[0].to_csv(), runs[2].to_csv());
+
+    let count_runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            Fleet::new(scenario.clone())
+                .with_parallelism(Parallelism::Fixed(w))
+                .run_counts()
+        })
+        .collect();
+    assert_eq!(count_runs[0], count_runs[1]);
+    assert_eq!(count_runs[0], count_runs[2]);
+    assert_eq!(count_runs[0].to_csv(), count_runs[2].to_csv());
+}
+
+/// The paper's DDoS case, end to end: the aggregate flood is split so
+/// each per-stub source stays below a single large-vantage detector's
+/// `f_min`, yet the fleet of first-mile agents still implicates exactly
+/// the attacked stubs, names the planted slaves' MACs, and agrees with
+/// the traceback topology cross-check.
+#[test]
+fn distributed_flood_below_single_point_threshold_is_localized() {
+    let scenario = ddos_scenario(7);
+
+    // Each source runs at 20/2 = 10 SYN/s. A single detector watching a
+    // big aggregation point (UNC-scale K̄) cannot see that rate...
+    let config = SynDogConfig::paper_default();
+    let unc_k_avg = SiteProfile::unc().mean_arrival_rate() * config.observation_period_secs;
+    let single_point_f_min = syndog::theory::min_detectable_rate(
+        config.offset,
+        0.0,
+        unc_k_avg,
+        config.observation_period_secs,
+    );
+    let per_stub_rate = scenario.stubs[1].attack.as_ref().unwrap().rate;
+    assert_eq!(per_stub_rate, 10.0);
+    assert!(
+        per_stub_rate < single_point_f_min,
+        "per-stub rate {per_stub_rate} must hide below the single-point \
+         f_min {single_point_f_min}"
+    );
+    // ...but each Auckland-scale stub's own f_min is far lower.
+    let stub_k_avg = SiteProfile::auckland().mean_arrival_rate() * config.observation_period_secs;
+    let stub_f_min = syndog::theory::min_detectable_rate(
+        config.offset,
+        0.0,
+        stub_k_avg,
+        config.observation_period_secs,
+    );
+    assert!(
+        per_stub_rate > stub_f_min,
+        "per-stub rate {per_stub_rate} must exceed the stub-local \
+         f_min {stub_f_min}"
+    );
+
+    let report = Fleet::new(scenario).run();
+
+    // Exactly the attacked stubs are implicated.
+    let implicated: Vec<&str> = report
+        .implicated()
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(implicated, vec!["Auckland-1", "Auckland-3"]);
+    assert!(report.localization_correct(), "report: {}", report.render());
+
+    for stub in &report.stubs {
+        if stub.attacked {
+            assert_eq!(stub.attack_start_period, Some(30));
+            let delay = stub
+                .detection_delay_periods
+                .expect("attacked stub must be detected");
+            assert!(delay <= 3, "detection delay {delay} periods too slow");
+            // Post-alarm localization pins the planted slave's MAC.
+            assert_eq!(stub.suspect_is_attacker, Some(true));
+            assert!(stub.suspect_share > 0.5);
+        } else {
+            assert!(!stub.implicated);
+            assert_eq!(stub.false_alarm_periods, 0);
+            assert!(stub.suspect_mac.is_none());
+        }
+    }
+
+    // The fleet's verdict agrees with traceback topology localization.
+    let check = report.topology_cross_check();
+    assert_eq!(check.expected_sources.len(), 2);
+    assert!(check.matches(), "topology cross-check must agree");
+    assert!(report.render().contains("topology cross-check: MATCH"));
+}
+
+/// Per-stub telemetry labels: one shared hub, no collisions, and the
+/// attacked stub's alarm counter is attributable by CIDR label.
+#[test]
+fn fleet_telemetry_labels_metrics_per_stub() {
+    let scenario = ddos_scenario(11);
+    let attacked_stub = scenario.stubs[1].stub().to_string();
+    let clean_stub = scenario.stubs[0].stub().to_string();
+    let hub = Arc::new(Telemetry::new());
+    let report = Fleet::new(scenario).with_telemetry(Arc::clone(&hub)).run();
+    assert!(report.stubs[1].implicated);
+
+    let snap = hub.snapshot();
+    let alarms_attacked = snap
+        .counter("syndog_alarms_total", &[("stub", attacked_stub.as_str())])
+        .expect("attacked stub registered");
+    assert!(
+        alarms_attacked >= 1,
+        "attacked stub raised {alarms_attacked}"
+    );
+    let alarms_clean = snap
+        .counter("syndog_alarms_total", &[("stub", clean_stub.as_str())])
+        .expect("clean stub registered");
+    assert_eq!(alarms_clean, 0);
+    let periods_clean = snap
+        .counter("syndog_periods_total", &[("stub", clean_stub.as_str())])
+        .expect("clean stub counted periods");
+    assert_eq!(periods_clean, report.stubs[0].periods);
+}

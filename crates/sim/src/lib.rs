@@ -14,7 +14,9 @@
 //! - [`stats`] — online statistics used both by the detector's evaluation
 //!   harness and by tests that validate the traffic generators
 //!   (Welford mean/variance, histograms, autocorrelation, an R/S Hurst
-//!   estimator for checking self-similarity).
+//!   estimator for checking self-similarity),
+//! - [`par`] — deterministic index-addressed parallelism for fleet runs and
+//!   experiment sweeps (results are bit-identical for any worker count).
 //!
 //! # Example
 //!
@@ -32,11 +34,13 @@
 
 pub mod engine;
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::Simulator;
 pub use event::EventQueue;
+pub use par::Parallelism;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,161 @@
+//! Deterministic index-addressed parallelism.
+//!
+//! Fleet runs and experiment sweeps fan independent jobs out over a
+//! [`std::thread::scope`]. Determinism comes from the *addressing*, not the
+//! scheduling: every job is a pure function of its index, workers pull the
+//! next index from a shared atomic counter, and each result is written back
+//! into the slot named by that index. The output vector is therefore
+//! identical for 1, 2, or 64 workers — only wall-clock time changes.
+//!
+//! A process-wide job cap ([`set_max_jobs`]) lets binaries expose a
+//! `--jobs N` flag without threading a parallelism value through every call
+//! site.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide cap on worker threads; `0` means "no cap".
+static MAX_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads any [`Parallelism`] resolves to.
+///
+/// Passing `0` removes the cap. Intended for `--jobs N` command-line flags;
+/// the cap applies process-wide, including `Parallelism::Fixed` requests.
+pub fn set_max_jobs(jobs: usize) {
+    MAX_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The current process-wide job cap, if one is set.
+pub fn max_jobs() -> Option<usize> {
+    let jobs = MAX_JOBS.load(Ordering::Relaxed);
+    (jobs > 0).then_some(jobs)
+}
+
+/// How many worker threads a parallel run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Use every available core (subject to the process-wide cap).
+    Auto,
+    /// Use exactly this many workers (still subject to the cap; min 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The concrete worker count this request resolves to right now.
+    pub fn resolve(self) -> usize {
+        let requested = match self {
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        };
+        match max_jobs() {
+            Some(cap) => requested.min(cap).max(1),
+            None => requested,
+        }
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..n` across up to `parallelism` worker
+/// threads and returns the results in index order.
+///
+/// The output is bit-identical regardless of worker count provided `job` is
+/// a pure function of its index (derive any randomness from a per-index
+/// seed, never from shared mutable state).
+pub fn run_indexed<T, F>(n: usize, parallelism: Parallelism, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = parallelism.resolve().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    let next = &next;
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, job(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, value) in part {
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = run_indexed(100, Parallelism::Fixed(8), |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let job = |i: usize| {
+            let mut rng = crate::SimRng::seed_from_u64(0xFEED ^ i as u64);
+            (0..16).map(|_| rng.next_u32()).collect::<Vec<_>>()
+        };
+        let one = run_indexed(24, Parallelism::Fixed(1), job);
+        let two = run_indexed(24, Parallelism::Fixed(2), job);
+        let eight = run_indexed(24, Parallelism::Fixed(8), job);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u64> = run_indexed(0, Parallelism::Auto, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fixed_zero_resolves_to_one_worker() {
+        assert_eq!(Parallelism::Fixed(0).resolve(), 1);
+        let out = run_indexed(5, Parallelism::Fixed(0), |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn job_cap_bounds_resolution() {
+        set_max_jobs(2);
+        assert_eq!(Parallelism::Fixed(16).resolve(), 2);
+        // Auto is machine-dependent; the cap only bounds it from above.
+        assert!(Parallelism::Auto.resolve() <= 2);
+        set_max_jobs(0);
+        assert_eq!(Parallelism::Fixed(16).resolve(), 16);
+        assert_eq!(max_jobs(), None);
+    }
+}

@@ -196,6 +196,26 @@ impl SiteProfile {
         vec![Self::lbl(), Self::harvard(), Self::unc(), Self::auckland()]
     }
 
+    /// Returns the profile truncated (or extended) to a new trace duration.
+    ///
+    /// Fleet scenarios and CI smoke runs use this to drive many stubs with a
+    /// site's workload without paying for the full Table 1 trace length.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Returns the profile re-homed into a different stub prefix.
+    ///
+    /// `site_id` namespaces the MAC addresses of simulated hosts, so two
+    /// re-homed copies of the same profile never share a MAC. Used by fleet
+    /// scenarios that place the same workload in many stub networks.
+    pub fn rehomed(mut self, stub: Ipv4Net, site_id: u16) -> Self {
+        self.stub = stub;
+        self.site_id = site_id;
+        self
+    }
+
     /// The site name as used in the paper.
     pub fn name(&self) -> &'static str {
         self.name
@@ -504,6 +524,30 @@ mod tests {
             outbound_syns > inbound_syns,
             "outbound still dominates at 30%"
         );
+    }
+
+    #[test]
+    fn rehomed_profile_moves_stub_and_mac_namespace() {
+        let stub: Ipv4Net = "128.7.0.0/16".parse().unwrap();
+        let site = SiteProfile::auckland()
+            .with_duration(SimDuration::from_secs(120))
+            .rehomed(stub, 7);
+        assert_eq!(site.stub(), stub);
+        assert_eq!(site.periods(), 6);
+        let mut rng = SimRng::seed_from_u64(13);
+        let trace = site.generate_trace(&mut rng);
+        for r in trace.records().iter().take(2000) {
+            if r.direction == Direction::Outbound {
+                assert!(stub.contains(*r.src.ip()), "outbound src {}", r.src);
+                assert_ne!(r.src_mac, MacAddr::ZERO);
+                // MACs come from the new namespace (net 7), not Auckland's.
+                assert!(
+                    r.src_mac.to_string().starts_with("02:00:07:"),
+                    "mac {} not in namespace 7",
+                    r.src_mac
+                );
+            }
+        }
     }
 
     #[test]
