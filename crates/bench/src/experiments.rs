@@ -19,13 +19,15 @@ use syndog::change::{ChangeDetector, EwmaChart, ShewhartChart, SlidingZTest};
 use syndog::metrics::{DetectionSummary, FalseAlarmReport, TrialOutcome};
 use syndog::{theory, Detection, NonParametricCusum, PeriodCounts, SynDogConfig, SynDogDetector};
 use syndog_attack::{FloodPattern, SynFlood};
-use syndog_net::MacAddr;
-use syndog_router::{Fleet, Scenario, SourceLocator, SynDogAgent};
+use syndog_net::{MacAddr, SegmentKind};
+use syndog_router::{
+    Fleet, MitigationEngine, MitigationPolicy, Scenario, SourceLocator, SynDogAgent,
+};
 use syndog_sim::par::{run_indexed, Parallelism};
 use syndog_sim::stats::TimeSeries;
 use syndog_sim::{SimDuration, SimRng, SimTime};
 use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
-use syndog_traffic::trace::PeriodSample;
+use syndog_traffic::trace::{Direction, PeriodSample, TraceRecord};
 
 use crate::report::{opt_f64, write_result, TextTable};
 
@@ -647,6 +649,193 @@ pub fn fleet(seed: u64) -> ExperimentOutput {
         id: "fleet",
         title: "multi-stub DDoS: sub-threshold distributed flood localized by the agent fleet"
             .into(),
+        body,
+        files,
+    }
+}
+
+/// Mitigation — the detect→act loop, priced at the victim. The `fleet`
+/// experiment's 6-stub distributed flood (bounded to 600 s so the
+/// hysteresis release is visible) runs twice — mitigation off and on —
+/// and the victim-bound attack stream from each run then drives the
+/// victim-side defense bank, measuring peak half-open-queue occupancy
+/// and defense memory. Source-end throttling is the only row that
+/// shrinks the flood *before* it aggregates, and the only one that
+/// knows which stub (and which MAC) it came from.
+pub fn mitigation(seed: u64) -> ExperimentOutput {
+    use std::collections::VecDeque;
+    use std::net::{Ipv4Addr, SocketAddrV4};
+    use syndog_defense::cookies::SynCookieServer;
+    use syndog_defense::proxy::{ProxyConfig, SynProxy};
+    use syndog_defense::resource::HALF_OPEN_ENTRY_BYTES;
+    use syndog_defense::synkill::{Synkill, SynkillConfig};
+    use syndog_defense::Defense;
+
+    let config = SynDogConfig::paper_default();
+    let template = SiteProfile::auckland().with_duration(SimDuration::from_secs(1800));
+    let attacked = [1usize, 3, 5];
+    let mut scenario = Scenario::distributed_flood(
+        "mitigation",
+        &template,
+        6,
+        &attacked,
+        30.0,
+        SimTime::from_secs(600),
+        victim(),
+        config,
+        seed,
+    );
+    // Bound the flood to periods 30–59 so the release is observable.
+    for i in scenario.attacked_indices() {
+        scenario.stubs[i]
+            .attack
+            .as_mut()
+            .expect("attacked stub")
+            .duration = SimDuration::from_secs(600);
+    }
+    let baseline = Fleet::new(scenario.clone()).run();
+    let mitigated = Fleet::new(scenario.with_mitigation(MitigationPolicy::paper_default())).run();
+
+    // What each run lets through to the victim: without mitigation every
+    // offered attack SYN is forwarded; with it, only the throttle leak.
+    let offered: u64 = mitigated.stubs.iter().map(|s| s.attack_syns_offered).sum();
+    let forwarded: u64 = mitigated
+        .stubs
+        .iter()
+        .map(|s| s.attack_syns_forwarded)
+        .sum();
+    let collateral: u64 = mitigated.stubs.iter().map(|s| s.collateral_syns).sum();
+
+    // The victim's bill for a given surviving flood volume: unique
+    // spoofed SYNs, evenly spaced over the 600 s attack window, through a
+    // fresh defense bank. "no defense" is the classic half-open queue —
+    // entries pinned for the 30 s retransmission timeout.
+    let victim_bill = |total: u64| -> Vec<(&'static str, usize, usize)> {
+        let mut cookies = SynCookieServer::new(0x5EED ^ seed);
+        let mut proxy = SynProxy::new(ProxyConfig::classic());
+        let mut synkill = Synkill::new(SynkillConfig::classic());
+        let mut backlog: VecDeque<SimTime> = VecDeque::new();
+        let (mut backlog_peak, mut cookies_peak, mut proxy_peak, mut synkill_peak) =
+            (0usize, 0usize, 0usize, 0usize);
+        for i in 0..total {
+            let t = SimTime::from_secs(600)
+                + SimDuration::from_secs_f64(600.0 * i as f64 / total.max(1) as f64);
+            let addr =
+                SocketAddrV4::new(Ipv4Addr::from(0x0a00_0000 | (i as u32 & 0x00ff_ffff)), 6000);
+            cookies.on_syn(t, addr);
+            proxy.on_syn(t, addr);
+            synkill.on_syn(t, addr);
+            while backlog
+                .front()
+                .is_some_and(|f| t.as_secs_f64() - f.as_secs_f64() > 30.0)
+            {
+                backlog.pop_front();
+            }
+            backlog.push_back(t);
+            backlog_peak = backlog_peak.max(backlog.len());
+            cookies_peak = cookies_peak.max(cookies.state_bytes());
+            proxy_peak = proxy_peak.max(proxy.state_bytes());
+            synkill_peak = synkill_peak.max(synkill.state_bytes());
+        }
+        vec![
+            (
+                "no defense (half-open queue)",
+                backlog_peak,
+                backlog_peak * HALF_OPEN_ENTRY_BYTES,
+            ),
+            ("syn cookies", 0, cookies_peak),
+            ("syn proxy", proxy.max_pending(), proxy_peak),
+            ("synkill", synkill.tracked_addresses(), synkill_peak),
+        ]
+    };
+    let bill_off = victim_bill(offered);
+    let bill_on = victim_bill(forwarded);
+
+    // What the first mile pays instead: one engaged engine per implicated
+    // stub, a couple of throttle keys deep. (Same shape the fleet's
+    // agents held; built standalone because the fleet consumes its
+    // agents.)
+    let engine_bytes = {
+        let mut engine = MitigationEngine::new(
+            "128.1.0.0/16".parse().expect("static prefix"),
+            &config,
+            MitigationPolicy::paper_default(),
+        );
+        let detection = |period| Detection {
+            period,
+            delta: 85.0,
+            k_average: 100.0,
+            x: 0.85,
+            statistic: 0.0,
+            alarm: false,
+        };
+        for p in 0..3 {
+            engine.on_detection(&detection(p), p);
+        }
+        engine.process(
+            &TraceRecord::new(
+                SimTime::from_secs(600),
+                Direction::Outbound,
+                SegmentKind::Syn,
+                "10.9.9.9:6000".parse().expect("static address"),
+                "199.0.0.80:80".parse().expect("static address"),
+            )
+            .with_mac(MacAddr::for_host(9, 9)),
+        );
+        engine.state_bytes()
+    };
+
+    let mut table = TextTable::new(&[
+        "victim defense",
+        "half-open peak (no mitigation)",
+        "state bytes (no mitigation)",
+        "half-open peak (mitigated)",
+        "state bytes (mitigated)",
+    ]);
+    for ((name, occupancy_off, bytes_off), (_, occupancy_on, bytes_on)) in
+        bill_off.iter().zip(&bill_on)
+    {
+        table.row(vec![
+            name.to_string(),
+            occupancy_off.to_string(),
+            bytes_off.to_string(),
+            occupancy_on.to_string(),
+            bytes_on.to_string(),
+        ]);
+    }
+
+    let mut body = table.render();
+    body.push_str(&format!(
+        "\nattack SYNs at the victim: {offered} offered → {forwarded} forwarded \
+         ({:.1}% shed at the source, {collateral} legitimate SYNs throttled)\n",
+        100.0 * (1.0 - forwarded as f64 / offered.max(1) as f64),
+    ));
+    for (base, stub) in baseline.stubs.iter().zip(&mitigated.stubs) {
+        if let Some(engaged) = stub.engaged_period {
+            body.push_str(&format!(
+                "  {}: engaged p{engaged}, released {}, {} SYNs throttled, \
+                 victim rate after alarm {:.2} → {:.2} SYN/s\n",
+                stub.stub,
+                stub.release_period
+                    .map_or_else(|| "never".to_string(), |p| format!("p{p}")),
+                stub.throttled_syns,
+                base.victim_syn_rate_after,
+                stub.victim_syn_rate_after,
+            ));
+        }
+    }
+    body.push_str(&format!(
+        "first-mile cost: ~{engine_bytes} bytes of throttle state per engaged stub — and\n\
+         unlike every victim-side row above, the source end names the flooding stub\n\
+         and the slave's MAC while it throttles.\n",
+    ));
+    let files = vec![
+        write_result("mitigation.csv", &table.to_csv()),
+        write_result("mitigation_fleet.csv", &mitigated.to_csv()),
+    ];
+    ExperimentOutput {
+        id: "mitigation",
+        title: "source-end throttling vs victim-side defenses under the distributed flood".into(),
         body,
         files,
     }
@@ -1470,6 +1659,7 @@ pub fn all_experiments(seed: u64) -> Vec<ExperimentOutput> {
         fig9(seed),
         disc(seed),
         fleet(seed),
+        mitigation(seed),
         ablate_patterns(seed),
         ablate_t0(seed),
         ablate_normalization(seed),
@@ -1497,6 +1687,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "table3" => table3(seed),
         "disc" => disc(seed),
         "fleet" => fleet(seed),
+        "mitigation" => mitigation(seed),
         "ablate-patterns" => ablate_patterns(seed),
         "ablate-t0" => ablate_t0(seed),
         "ablate-normalization" => ablate_normalization(seed),
@@ -1525,6 +1716,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "table3",
     "disc",
     "fleet",
+    "mitigation",
     "ablate-patterns",
     "ablate-t0",
     "ablate-normalization",

@@ -3,11 +3,11 @@
 //! ```text
 //! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-//! syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+//! syndog detect   --in FILE --stub CIDR [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
 //! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
 //! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
-//! syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--faults SPEC] [--csv FILE] [--metrics DEST]
+//! syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
@@ -33,6 +33,12 @@
 //! `.jsonl`, `.csv`) or forced by `--metrics-format`. `stats` reads a
 //! JSON Lines dump back and summarizes or re-renders it.
 //!
+//! `--mitigate` (on `detect` and `fleet`) closes the paper's detect→act
+//! loop at the first mile: an alarm installs keyed token-bucket SYN
+//! throttles sized from the stub's learned `K̄`, hysteresis releases them
+//! after the attack ends, and the run reports MITIGATION / THROTTLED
+//! lines with throttled / passed / collateral accounting.
+//!
 //! `detect` and `replay` additionally take the fault/recovery flags:
 //! `--faults SPEC` runs the trace through a seeded [`FaultInjector`]
 //! (detect) or a record-level fault pass (replay); `--checkpoint FILE`
@@ -49,8 +55,9 @@ use syndog::{theory, SynDogConfig};
 use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
 use syndog_router::{
-    Checkpoint, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, Fleet, OverflowPolicy,
-    PcapSource, Scenario, SourceLocator, SynDogAgent, TraceSource, DEFAULT_BATCH_SIZE,
+    Checkpoint, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, Fleet,
+    MitigationPolicy, OverflowPolicy, PcapSource, Scenario, SourceLocator, SynDogAgent,
+    TraceSource, DEFAULT_BATCH_SIZE,
 };
 use syndog_sim::par::Parallelism;
 use syndog_sim::{SimDuration, SimRng, SimTime};
@@ -91,11 +98,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-  syndog detect   --in FILE --stub CIDR [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+  syndog detect   --in FILE --stub CIDR [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
   syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
-  syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
+  syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
@@ -129,7 +136,15 @@ stub, and a DDoS campaign of --total-rate SYN/s split across the
 first alarms, delays, false alarms and suspect MACs, prints IMPLICATED
 lines for alarming stubs, and cross-checks against traceback topology.
 --counts runs the cheaper count-level path (no MAC localization);
---jobs caps workers without changing any output byte.";
+--jobs caps workers without changing any output byte.
+
+--mitigate (detect and fleet) arms source-end mitigation: the first
+alarm installs keyed token-bucket SYN throttles (per suspect MAC, or
+per /24 spoofed-source prefix) sized from the stub's learned K, and a
+hysteresis gate releases them once the statistic stays calm. detect
+prints a MITIGATION summary; fleet adds THROTTLED lines and extends
+the CSV with engaged/release periods, throttled / collateral counts,
+and the victim-observed SYN rate before and after the first alarm.";
 
 /// Minimal `--flag value` / `--switch` argument map.
 struct Flags {
@@ -333,6 +348,48 @@ impl MetricsSink {
     }
 }
 
+/// One run's telemetry attachment: the hub every instrumented component
+/// registers into plus the sink the `--metrics` flags resolved to. This
+/// is the plumbing `detect`, `sniff`, `replay` and `fleet` all share —
+/// build it from the flags up front, attach [`Metrics::hub`] when
+/// [`Metrics::enabled`], and [`Metrics::finish`] on the way out.
+struct Metrics {
+    hub: Arc<Telemetry>,
+    sink: Option<MetricsSink>,
+}
+
+impl Metrics {
+    fn from_flags(flags: &Flags) -> Result<Metrics, String> {
+        let hub = Arc::new(Telemetry::new());
+        let sink = metrics_sink(flags, &hub)?;
+        Ok(Metrics { hub, sink })
+    }
+
+    /// Whether `--metrics` was given (and components should attach).
+    fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The shared hub (only worth attaching when [`Metrics::enabled`]).
+    fn hub(&self) -> &Arc<Telemetry> {
+        &self.hub
+    }
+
+    /// A clone of the hub for components that take ownership, `None`
+    /// when the run is untelemetered.
+    fn attachment(&self) -> Option<Arc<Telemetry>> {
+        self.enabled().then(|| Arc::clone(&self.hub))
+    }
+
+    /// Flushes the sink (a no-op without `--metrics`).
+    fn finish(self) -> Result<(), String> {
+        match self.sink {
+            Some(sink) => sink.finish(&self.hub),
+            None => Ok(()),
+        }
+    }
+}
+
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let site = site_by_name(flags.require("site")?)?;
@@ -400,12 +457,11 @@ fn detect_config(flags: &Flags) -> Result<SynDogConfig, String> {
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["tuned", "verbose"])?;
+    let flags = Flags::parse(args, &["tuned", "verbose", "mitigate"])?;
     let stub = stub_flag(&flags)?;
     let trace = read_trace(flags.require("in")?, stub)?;
     let faults = faults_flag(&flags)?;
-    let hub = Arc::new(Telemetry::new());
-    let sink = metrics_sink(&flags, &hub)?;
+    let metrics = Metrics::from_flags(&flags)?;
     let (mut agent, trace) = match flags.get("resume") {
         Some(path) => {
             reject_config_flags_on_resume(&flags)?;
@@ -420,31 +476,93 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         None => (SynDogAgent::new(stub, detect_config(&flags)?), trace),
     };
     let config = *agent.detector().config();
-    if sink.is_some() {
-        agent.set_telemetry(Arc::clone(&hub));
+    if metrics.enabled() {
+        agent.set_telemetry(Arc::clone(metrics.hub()));
     }
-    match faults {
-        Some(spec) => {
-            let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
-            if sink.is_some() {
-                injector = injector.with_telemetry(FaultTelemetry::new(&hub));
+    // A checkpoint that carried an armed engine restores it whether or
+    // not the flag is repeated; `--mitigate` on a fresh run arms one.
+    if flags.has("mitigate") && agent.mitigation().is_none() {
+        agent.set_mitigation(MitigationPolicy::paper_default());
+    }
+    if agent.mitigation().is_some() {
+        // The engine judges individual records, so the mitigated run
+        // streams record by record; faults become the same record-level
+        // pass `replay` uses. Periods square off to the trace's declared
+        // span exactly as LeafRouter::ingest does for batch runs.
+        let trace = match faults {
+            Some(spec) => {
+                let (faulted, ledger) = spec.apply_to_trace(&trace);
+                if metrics.enabled() {
+                    FaultTelemetry::new(metrics.hub()).sync(&ledger);
+                }
+                println!("faults: {}", ledger.summary());
+                faulted
             }
-            agent
-                .run_source(&mut injector)
-                .map_err(|e| format!("detect: {e}"))?;
-            println!("faults: {}", injector.ledger().summary());
+            None => trace,
+        };
+        let period = agent.router().period();
+        let last = agent.router().current_period()
+            + trace.duration().as_micros().div_ceil(period.as_micros());
+        for record in trace.records() {
+            if record.time.period_index(period) >= last {
+                continue;
+            }
+            agent.filter_record(record);
         }
-        None => {
-            agent.run_trace(&trace);
+        agent.close_periods_to(last);
+    } else {
+        match faults {
+            Some(spec) => {
+                let mut injector = FaultInjector::new(TraceSource::new(&trace), spec);
+                if metrics.enabled() {
+                    injector = injector.with_telemetry(FaultTelemetry::new(metrics.hub()));
+                }
+                agent
+                    .run_source(&mut injector)
+                    .map_err(|e| format!("detect: {e}"))?;
+                println!("faults: {}", injector.ledger().summary());
+            }
+            None => {
+                agent.run_trace(&trace);
+            }
         }
     }
     print_detection_report(&agent, &config, flags.has("verbose"));
+    print_mitigation_report(&agent);
     if let Some(path) = flags.get("checkpoint") {
         write_checkpoint(&agent.checkpoint(), path)?;
     }
-    match sink {
-        Some(sink) => sink.finish(&hub),
-        None => Ok(()),
+    metrics.finish()
+}
+
+/// The `--mitigate` postscript to the detection report (silent when no
+/// engine is armed).
+fn print_mitigation_report(agent: &SynDogAgent) {
+    let Some(engine) = agent.mitigation() else {
+        return;
+    };
+    let stats = engine.stats();
+    match engine.engaged_at() {
+        Some(engaged) => {
+            let released = engine
+                .released_at()
+                .map(|p| format!("released at period {p}"))
+                .unwrap_or_else(|| "still engaged".into());
+            println!(
+                "MITIGATION engaged at period {engaged}, {released}: \
+                 {} SYNs throttled, {} passed ({} collateral)",
+                stats.throttled_syns, stats.passed_syns, stats.collateral_syns
+            );
+            if let Some(fraction) = stats.attack_drop_fraction() {
+                println!(
+                    "  attack SYNs: {} offered, {} forwarded ({:.1}% shed)",
+                    stats.attack_syns_offered,
+                    stats.attack_syns_forwarded,
+                    fraction * 100.0
+                );
+            }
+        }
+        None => println!("mitigation armed; throttles never engaged"),
     }
 }
 
@@ -469,11 +587,10 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
     let input = flags.require("in")?;
     let batch_size = batch_size_flag(&flags)?;
     let config = detect_config(&flags)?;
-    let hub = Arc::new(Telemetry::new());
-    let sink = metrics_sink(&flags, &hub)?;
+    let metrics = Metrics::from_flags(&flags)?;
     let mut agent = SynDogAgent::new(stub, config);
-    if sink.is_some() {
-        agent.set_telemetry(Arc::clone(&hub));
+    if metrics.enabled() {
+        agent.set_telemetry(Arc::clone(metrics.hub()));
     }
     if input.ends_with(".pcap") {
         let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
@@ -497,10 +614,7 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
             + router.sniffer(Direction::Inbound).malformed(),
     );
     print_detection_report(&agent, &config, flags.has("verbose"));
-    match sink {
-        Some(sink) => sink.finish(&hub),
-        None => Ok(()),
-    }
+    metrics.finish()
 }
 
 /// Replays a trace through the two-thread concurrent deployment:
@@ -510,8 +624,7 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
 /// [`FrameBatch`]: syndog_net::FrameBatch
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["tuned", "drop"])?;
-    let hub = Arc::new(Telemetry::new());
-    let sink = metrics_sink(&flags, &hub)?;
+    let metrics = Metrics::from_flags(&flags)?;
     let stub = stub_flag(&flags)?;
     let trace = read_trace(flags.require("in")?, stub)?;
     let batch_size = batch_size_flag(&flags)?;
@@ -527,8 +640,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let (trace, fault_ledger) = match faults_flag(&flags)? {
         Some(spec) => {
             let (faulted, ledger) = spec.apply_to_trace(&trace);
-            if sink.is_some() {
-                FaultTelemetry::new(&hub).sync(&ledger);
+            if metrics.enabled() {
+                FaultTelemetry::new(metrics.hub()).sync(&ledger);
             }
             (faulted, Some(ledger))
         }
@@ -538,13 +651,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         Some(path) => {
             reject_config_flags_on_resume(&flags)?;
             let checkpoint = read_checkpoint(path)?;
-            let dog = ConcurrentSynDog::resume(
-                &checkpoint,
-                capacity,
-                policy,
-                sink.is_some().then(|| Arc::clone(&hub)),
-            )
-            .map_err(|e| format!("restore {path}: {e}"))?;
+            let dog = ConcurrentSynDog::resume(&checkpoint, capacity, policy, metrics.attachment())
+                .map_err(|e| format!("restore {path}: {e}"))?;
             println!(
                 "resumed from {path} at period {}",
                 dog.router().current_period()
@@ -553,10 +661,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         }
         None => {
             let config = detect_config(&flags)?;
-            if sink.is_some() {
-                ConcurrentSynDog::with_telemetry(config, capacity, policy, Arc::clone(&hub))
-            } else {
-                ConcurrentSynDog::with_policy(config, capacity, policy)
+            match metrics.attachment() {
+                Some(hub) => ConcurrentSynDog::with_telemetry(config, capacity, policy, hub),
+                None => ConcurrentSynDog::with_policy(config, capacity, policy),
             }
         }
     };
@@ -643,10 +750,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         ),
         None => println!("no flooding detected"),
     }
-    match sink {
-        Some(sink) => sink.finish(&hub),
-        None => Ok(()),
-    }
+    metrics.finish()
 }
 
 /// The shared `detect` / `sniff` result report.
@@ -756,7 +860,7 @@ fn parse_attackers(raw: &str, stubs: usize) -> Result<Vec<usize>, String> {
 }
 
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["counts"])?;
+    let flags = Flags::parse(args, &["counts", "mitigate"])?;
     let stubs: usize = flags.parse_value("stubs", 4)?;
     if stubs == 0 || stubs > 255 {
         return Err("--stubs must be in 1..=255".into());
@@ -798,15 +902,17 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     if let Some(faults) = faults_flag(&flags)? {
         scenario = scenario.with_faults(faults);
     }
+    if flags.has("mitigate") {
+        scenario = scenario.with_mitigation(MitigationPolicy::paper_default());
+    }
     let mut fleet = Fleet::new(scenario);
     if let Some(raw) = flags.get("jobs") {
         let jobs: usize = raw.parse().map_err(|_| format!("invalid --jobs: {raw}"))?;
         fleet = fleet.with_parallelism(Parallelism::Fixed(jobs));
     }
-    let hub = Arc::new(Telemetry::new());
-    let sink = metrics_sink(&flags, &hub)?;
-    if sink.is_some() {
-        fleet = fleet.with_telemetry(Arc::clone(&hub));
+    let metrics = Metrics::from_flags(&flags)?;
+    if metrics.enabled() {
+        fleet = fleet.with_telemetry(Arc::clone(metrics.hub()));
     }
     let report = if flags.has("counts") {
         fleet.run_counts()
@@ -818,10 +924,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         std::fs::write(path, report.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote fleet report to {path}");
     }
-    if let Some(sink) = sink {
-        sink.finish(&hub)?;
-    }
-    Ok(())
+    metrics.finish()
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -1236,6 +1339,109 @@ mod tests {
         .is_err());
 
         for p in [&trace_path, &head_path, &ck, &ck2] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn mitigate_flag_runs_detect_and_fleet_end_to_end() {
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(300),
+            victim(),
+        );
+        trace.merge(&flood.generate_trace(&mut rng));
+        let stub = site.stub().to_string();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let trace_path = path("syndog_test_mitigate.bin");
+        write_trace(&trace, &trace_path).unwrap();
+
+        // Mitigated detect runs, and its checkpoint carries the engine.
+        let ck = path("syndog_test_mitigate.ck.json");
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--mitigate",
+            "--checkpoint",
+            &ck,
+        ]))
+        .unwrap();
+        let saved = read_checkpoint(&ck).unwrap();
+        assert!(
+            saved.mitigation.is_some(),
+            "checkpoint must carry the engine"
+        );
+        // Resume restores the armed engine without repeating the flag.
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck,
+        ]))
+        .unwrap();
+        // The mitigated path composes with record-level faults.
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--mitigate",
+            "--faults",
+            "drop=0.05,seed=7",
+        ]))
+        .unwrap();
+
+        // Mitigated fleet: the CSV gains the mitigation columns and the
+        // attacked stub's row records an engagement.
+        let csv = path("syndog_test_mitigate_fleet.csv");
+        cmd_fleet(&args(&[
+            "--stubs",
+            "3",
+            "--attackers",
+            "1",
+            "--site-minutes",
+            "20",
+            "--total-rate",
+            "10",
+            "--start",
+            "300",
+            "--attack-duration",
+            "300",
+            "--seed",
+            "5",
+            "--mitigate",
+            "--csv",
+            &csv,
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&csv).unwrap();
+        let mut lines = written.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let column = |name: &str| {
+            header
+                .iter()
+                .position(|c| *c == name)
+                .unwrap_or_else(|| panic!("missing CSV column {name}"))
+        };
+        let engaged = column("engaged_period");
+        let mitigated = column("mitigated");
+        for line in lines {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields[mitigated], "true");
+            let attacked_row = fields[0] == "Auckland-1";
+            assert_eq!(!fields[engaged].is_empty(), attacked_row, "row: {line}");
+        }
+
+        for p in [&trace_path, &ck, &csv] {
             let _ = std::fs::remove_file(p);
         }
     }

@@ -96,6 +96,40 @@ proptest! {
         prop_assert_eq!(result, Some(MSS_TABLE[mss_index as usize]));
     }
 
+    /// Once the counter advances past the acceptance window the cookie
+    /// is stale and never validates. Staleness stays below one full
+    /// counter wrap (64) so the cookie's low-6-bit counter residue can
+    /// never alias a candidate inside the window — rejection is exact,
+    /// not probabilistic.
+    #[test]
+    fn stale_cookie_always_rejected(
+        key in any::<u64>(),
+        ip in any::<u32>(),
+        port in 1u16..,
+        counter in 0u64..1_000_000,
+        mss_index in 0u8..4,
+        staleness in 3u64..64,
+    ) {
+        let client = std::net::SocketAddrV4::new(std::net::Ipv4Addr::from(ip), port);
+        let isn = make_cookie(key, client, counter, mss_index);
+        prop_assert_eq!(check_cookie(key, client, counter + staleness, isn), None);
+    }
+
+    /// A cookie minted under one key never validates under another.
+    #[test]
+    fn cookie_binds_key(
+        key in any::<u64>(),
+        other_key in any::<u64>(),
+        ip in any::<u32>(),
+        counter in 0u64..1000,
+        mss_index in 0u8..4,
+    ) {
+        prop_assume!(key != other_key);
+        let client = std::net::SocketAddrV4::new(std::net::Ipv4Addr::from(ip), 443);
+        let isn = make_cookie(key, client, counter, mss_index);
+        prop_assert_eq!(check_cookie(other_key, client, counter, isn), None);
+    }
+
     /// A cookie never validates for a different client address.
     #[test]
     fn cookie_binds_client(

@@ -16,9 +16,10 @@ use syndog_telemetry::Telemetry;
 use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::mitigate::{MitigationDecision, MitigationEngine, MitigationPolicy};
 use crate::router::LeafRouter;
 use crate::source::{FrameSource, TraceSource};
-use crate::telemetry::AgentTelemetry;
+use crate::telemetry::{AgentTelemetry, MitigationTelemetry};
 
 /// A raised flooding alarm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +40,8 @@ pub struct SynDogAgent {
     detections: Vec<Detection>,
     alarms: Vec<Alarm>,
     telemetry: Option<AgentTelemetry>,
+    mitigation: Option<MitigationEngine>,
+    mitigation_telemetry: Option<MitigationTelemetry>,
     /// Absolute period index of the detector's period 0. The detector's
     /// own indices restart at 0 on [`SynDogAgent::reset_detection`] while
     /// the router clock keeps running; alarm timestamps must use
@@ -57,6 +60,8 @@ impl SynDogAgent {
             detections: Vec::new(),
             alarms: Vec::new(),
             telemetry: None,
+            mitigation: None,
+            mitigation_telemetry: None,
             period_base: 0,
         }
     }
@@ -66,6 +71,7 @@ impl SynDogAgent {
     /// tallies into it (see [`crate::telemetry`] for the series names).
     pub fn set_telemetry(&mut self, hub: Arc<Telemetry>) {
         self.telemetry = Some(AgentTelemetry::new(hub));
+        self.sync_mitigation_telemetry();
     }
 
     /// Builder-style variant of [`SynDogAgent::set_telemetry`].
@@ -82,6 +88,7 @@ impl SynDogAgent {
     pub fn set_stub_telemetry(&mut self, hub: Arc<Telemetry>) {
         let stub = self.router.stub().to_string();
         self.telemetry = Some(AgentTelemetry::with_labels(hub, &[("stub", &stub)]));
+        self.sync_mitigation_telemetry();
     }
 
     /// Builder-style variant of [`SynDogAgent::set_stub_telemetry`].
@@ -89,6 +96,57 @@ impl SynDogAgent {
     pub fn with_stub_telemetry(mut self, hub: Arc<Telemetry>) -> Self {
         self.set_stub_telemetry(hub);
         self
+    }
+
+    /// Arms source-end mitigation: the agent gains a
+    /// [`MitigationEngine`] that engages keyed SYN throttles when the
+    /// detector's statistic crosses the threshold and releases them by
+    /// hysteresis (see [`crate::mitigate`]). Only the record-level paths
+    /// ([`SynDogAgent::filter_record`]) actually drop traffic; the
+    /// count-level [`SynDogAgent::observe_period`] still tracks
+    /// engage/release posture.
+    pub fn set_mitigation(&mut self, policy: MitigationPolicy) {
+        self.mitigation = Some(MitigationEngine::new(
+            self.router.stub(),
+            self.detector.config(),
+            policy,
+        ));
+        self.sync_mitigation_telemetry();
+    }
+
+    /// Builder-style variant of [`SynDogAgent::set_mitigation`].
+    #[must_use]
+    pub fn with_mitigation(mut self, policy: MitigationPolicy) -> Self {
+        self.set_mitigation(policy);
+        self
+    }
+
+    /// The mitigation engine, if one is armed.
+    pub fn mitigation(&self) -> Option<&MitigationEngine> {
+        self.mitigation.as_ref()
+    }
+
+    /// Mutable access to the mitigation engine, for count-level drivers
+    /// that apply [`MitigationEngine::count_throttle`] themselves.
+    pub fn mitigation_mut(&mut self) -> Option<&mut MitigationEngine> {
+        self.mitigation.as_mut()
+    }
+
+    /// (Re)registers the `syndog_mitigation_*` series whenever both a hub
+    /// and an engine are attached, under the agent telemetry's labels —
+    /// so `set_mitigation` and `set_*_telemetry` compose in either order.
+    fn sync_mitigation_telemetry(&mut self) {
+        self.mitigation_telemetry = match (&self.telemetry, &self.mitigation) {
+            (Some(telemetry), Some(_)) => {
+                let labels: Vec<(&str, &str)> = telemetry
+                    .labels()
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                Some(MitigationTelemetry::with_labels(telemetry.hub(), &labels))
+            }
+            _ => None,
+        };
     }
 
     /// The underlying router.
@@ -145,6 +203,12 @@ impl SynDogAgent {
             });
         }
         self.detections.push(detection);
+        if let Some(engine) = &mut self.mitigation {
+            engine.on_detection(&detection, absolute_period);
+            if let Some(mitigation_telemetry) = &mut self.mitigation_telemetry {
+                mitigation_telemetry.sync(engine);
+            }
+        }
         if let Some(telemetry) = &mut self.telemetry {
             let end_secs = self.router.period().as_secs_f64() * (absolute_period + 1) as f64;
             telemetry.record_period(
@@ -203,6 +267,33 @@ impl SynDogAgent {
         self.router.observe_record(record);
     }
 
+    /// Streams one record through the router *and* the mitigation engine:
+    /// the record is always observed (the detector measures the offered
+    /// load, so throttling cannot drain the statistic that justifies it —
+    /// see [`crate::mitigate`]), then judged. Without an armed engine this
+    /// is [`SynDogAgent::observe_record`] returning
+    /// [`MitigationDecision::Forward`].
+    pub fn filter_record(&mut self, record: &TraceRecord) -> MitigationDecision {
+        self.observe_record(record);
+        match &mut self.mitigation {
+            Some(engine) => engine.process(record),
+            None => MitigationDecision::Forward,
+        }
+    }
+
+    /// Closes every period up to (but not including) absolute period
+    /// `last`, running the detector on each — squares a streamed
+    /// per-record run off to the same period count
+    /// [`LeafRouter::ingest`](crate::router::LeafRouter::ingest) produces
+    /// for batch runs (empty trailing periods included — silence is
+    /// data).
+    pub fn close_periods_to(&mut self, last: u64) {
+        while self.router.current_period() < last {
+            let sample = self.router.take_period_sample();
+            self.observe_period(sample);
+        }
+    }
+
     /// Resets detector state and alarm history (the router's period clock
     /// continues; counters are already period-scoped). The period base
     /// advances so future alarm timestamps remain in router time.
@@ -225,6 +316,7 @@ impl SynDogAgent {
             &self.detector,
             &self.detections,
             &self.alarms,
+            self.mitigation.as_ref(),
         )
     }
 
@@ -243,6 +335,8 @@ impl SynDogAgent {
             detections: checkpoint.detections.clone(),
             alarms: checkpoint.alarms.iter().map(|a| a.to_alarm()).collect(),
             telemetry: None,
+            mitigation: checkpoint.restore_mitigation()?,
+            mitigation_telemetry: None,
             period_base: checkpoint.period_base,
         })
     }

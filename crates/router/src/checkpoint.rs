@@ -13,14 +13,19 @@
 //! - both sniffers' pending (`syn`/`synack` since the last period close)
 //!   and lifetime counters,
 //! - the recorded detection series and alarms, plus the agent's
-//!   period-index base.
+//!   period-index base,
+//! - the mitigation engine, when one is attached ([`MitigationState`]):
+//!   installed throttle keys with exact token-bucket fill levels, the
+//!   hysteresis gate and calm streak, the armed locator's per-MAC
+//!   tallies, and the decision counters — a restarted router resumes
+//!   throttling mid-attack instead of re-deriving the engagement.
 //!
 //! # Wire format
 //!
 //! A checkpoint file is a JSON envelope:
 //!
 //! ```json
-//! {"magic":"syndog-checkpoint","version":1,"crc32":3735928559,"payload":"{…}"}
+//! {"magic":"syndog-checkpoint","version":2,"crc32":3735928559,"payload":"{…}"}
 //! ```
 //!
 //! The `payload` string is the serialized [`Checkpoint`]; `crc32` is the
@@ -46,11 +51,16 @@ use syndog_traffic::trace::Direction;
 use serde::{Deserialize, Serialize};
 
 use crate::agent::Alarm;
+use crate::mitigate::{MitigationEngine, MitigationState};
 use crate::router::LeafRouter;
 use crate::sniffer::Sniffer;
 
 /// The checkpoint payload schema version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history: 1 — detector/router/sniffer state only; 2 — adds the
+/// optional `mitigation` payload field (throttle buckets, hysteresis
+/// gate, locator tallies, decision counters).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The envelope magic string.
 const MAGIC: &str = "syndog-checkpoint";
@@ -216,6 +226,11 @@ pub struct Checkpoint {
     pub detections: Vec<Detection>,
     /// The alarms raised so far.
     pub alarms: Vec<AlarmState>,
+    /// The mitigation engine's state — `None` for agents without a
+    /// [`MitigationEngine`]. Adding this field is the version 1 → 2
+    /// payload schema change; version-1 files are rejected at the
+    /// envelope's version check, never half-read.
+    pub mitigation: Option<MitigationState>,
 }
 
 /// The on-disk envelope around a serialized [`Checkpoint`].
@@ -235,6 +250,7 @@ impl Checkpoint {
         detector: &SynDogDetector,
         detections: &[Detection],
         alarms: &[Alarm],
+        mitigation: Option<&MitigationEngine>,
     ) -> Self {
         Checkpoint {
             stub: router.stub().to_string(),
@@ -246,6 +262,7 @@ impl Checkpoint {
             detector: detector.clone(),
             detections: detections.to_vec(),
             alarms: alarms.iter().map(AlarmState::from_alarm).collect(),
+            mitigation: mitigation.map(MitigationEngine::snapshot),
         }
     }
 
@@ -267,6 +284,23 @@ impl Checkpoint {
         self.inbound
             .restore_into(router.sniffer_mut(Direction::Inbound))?;
         Ok(router)
+    }
+
+    /// Rebuilds the [`MitigationEngine`] this checkpoint carries, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::InvalidState`] when the captured
+    /// mitigation state is internally inconsistent (unparseable stub,
+    /// non-positive period or threshold).
+    pub fn restore_mitigation(&self) -> Result<Option<MitigationEngine>, CheckpointError> {
+        self.mitigation
+            .as_ref()
+            .map(|state| {
+                MitigationEngine::from_state(state)
+                    .map_err(|why| CheckpointError::InvalidState(format!("mitigation: {why}")))
+            })
+            .transpose()
     }
 
     /// Serializes to the versioned, checksummed JSON envelope.
@@ -334,7 +368,28 @@ mod tests {
             .sniffer_mut(Direction::Outbound)
             .observe_kind(SegmentKind::Syn);
         router.set_current_period(5);
-        Checkpoint::capture(&router, 0, &detector, &[], &[])
+        Checkpoint::capture(&router, 0, &detector, &[], &[], None)
+    }
+
+    fn engaged_engine() -> crate::mitigate::MitigationEngine {
+        use crate::mitigate::{MitigationEngine, MitigationPolicy};
+        let config = SynDogConfig::paper_default();
+        let mut engine = MitigationEngine::new(
+            "10.1.0.0/16".parse().unwrap(),
+            &config,
+            MitigationPolicy::paper_default(),
+        );
+        let detection = Detection {
+            period: 0,
+            delta: 200.0,
+            k_average: 100.0,
+            x: 2.0,
+            statistic: 1.65,
+            alarm: true,
+        };
+        engine.on_detection(&detection, 0);
+        assert!(engine.is_engaged());
+        engine
     }
 
     #[test]
@@ -424,6 +479,43 @@ mod tests {
         zero_period.period_micros = 0;
         assert!(matches!(
             zero_period.restore_router(),
+            Err(CheckpointError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn mitigation_state_round_trips_through_the_envelope() {
+        let engine = engaged_engine();
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.mitigation = Some(engine.snapshot());
+        let json = checkpoint.to_json();
+        let parsed = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(parsed, checkpoint);
+        let restored = parsed
+            .restore_mitigation()
+            .unwrap()
+            .expect("mitigation state present");
+        assert_eq!(restored, engine);
+        assert!(restored.is_engaged());
+    }
+
+    #[test]
+    fn checkpoint_without_mitigation_restores_as_none() {
+        let checkpoint = sample_checkpoint();
+        assert_eq!(checkpoint.mitigation, None);
+        let parsed = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(parsed.mitigation, None);
+        assert_eq!(parsed.restore_mitigation(), Ok(None));
+    }
+
+    #[test]
+    fn corrupt_mitigation_state_is_rejected() {
+        let mut checkpoint = sample_checkpoint();
+        let mut state = engaged_engine().snapshot();
+        state.stub = "not-a-prefix".to_string();
+        checkpoint.mitigation = Some(state);
+        assert!(matches!(
+            checkpoint.restore_mitigation(),
             Err(CheckpointError::InvalidState(_))
         ));
     }

@@ -41,8 +41,9 @@ use syndog_telemetry::{Counter, Gauge, Telemetry};
 use syndog_traffic::trace::Direction;
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::mitigate::{MitigationEngine, MitigationPolicy};
 use crate::router::LeafRouter;
-use crate::telemetry::{AgentTelemetry, ConcurrentTelemetry};
+use crate::telemetry::{AgentTelemetry, ConcurrentTelemetry, MitigationTelemetry};
 
 /// What a sniffer channel does when it is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,6 +193,8 @@ pub struct ConcurrentSynDog {
     detections: Vec<Detection>,
     agent_telemetry: Option<AgentTelemetry>,
     channel_telemetry: Option<ConcurrentTelemetry>,
+    mitigation: Option<MitigationEngine>,
+    mitigation_telemetry: Option<MitigationTelemetry>,
 }
 
 impl std::fmt::Debug for ConcurrentSynDog {
@@ -287,7 +290,40 @@ impl ConcurrentSynDog {
             detections: Vec::new(),
             agent_telemetry: hub.map(AgentTelemetry::new),
             channel_telemetry,
+            mitigation: None,
+            mitigation_telemetry: None,
         }
+    }
+
+    /// Attaches a [`MitigationEngine`] to the coordinator. The concurrent
+    /// deployment classifies by interface and never sees per-record
+    /// addresses, so mitigation here is *count-level*: at each
+    /// [`Self::close_period`] the engine updates its hysteresis gate from
+    /// the detection and, while engaged, sheds the period's SYN excess
+    /// over `K̄ + allowance` (the aggregate approximation of the keyed
+    /// token buckets — see
+    /// [`MitigationEngine::count_throttle`]).
+    pub fn set_mitigation(&mut self, policy: MitigationPolicy) {
+        let engine = MitigationEngine::new(self.router.stub(), self.detector.config(), policy);
+        if let (Some(agent_telemetry), None) = (&self.agent_telemetry, &self.mitigation_telemetry) {
+            self.mitigation_telemetry = Some(MitigationTelemetry::new(agent_telemetry.hub()));
+        }
+        if let Some(telemetry) = &mut self.mitigation_telemetry {
+            telemetry.sync(&engine);
+        }
+        self.mitigation = Some(engine);
+    }
+
+    /// Builder-style [`Self::set_mitigation`].
+    #[must_use]
+    pub fn with_mitigation(mut self, policy: MitigationPolicy) -> Self {
+        self.set_mitigation(policy);
+        self
+    }
+
+    /// The attached mitigation engine, if any.
+    pub fn mitigation(&self) -> Option<&MitigationEngine> {
+        self.mitigation.as_ref()
     }
 
     fn interface(&self, direction: Direction) -> &SnifferThread {
@@ -405,6 +441,13 @@ impl ConcurrentSynDog {
             synack: sample.synack,
         });
         self.detections.push(detection);
+        if let Some(engine) = &mut self.mitigation {
+            engine.on_detection(&detection, detection.period);
+            engine.count_throttle(&detection, sample.syn);
+            if let Some(telemetry) = &mut self.mitigation_telemetry {
+                telemetry.sync(engine);
+            }
+        }
         if let Some(telemetry) = &mut self.agent_telemetry {
             let end_secs = self.router.period().as_secs_f64() * (detection.period + 1) as f64;
             telemetry.record_period(
@@ -461,7 +504,14 @@ impl ConcurrentSynDog {
     /// [`Self::close_period`] first so the checkpoint lands on a period
     /// boundary — the same boundary the restore resumes from.
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint::capture(&self.router, 0, &self.detector, &self.detections, &[])
+        Checkpoint::capture(
+            &self.router,
+            0,
+            &self.detector,
+            &self.detections,
+            &[],
+            self.mitigation.as_ref(),
+        )
     }
 
     /// Rebuilds a concurrent deployment from a [`Checkpoint`]: fresh
@@ -488,6 +538,12 @@ impl ConcurrentSynDog {
         dog.router = router;
         dog.detector = checkpoint.detector.clone();
         dog.detections = checkpoint.detections.clone();
+        dog.mitigation = checkpoint.restore_mitigation()?;
+        if let (Some(engine), Some(agent_telemetry)) = (&dog.mitigation, &dog.agent_telemetry) {
+            let mut telemetry = MitigationTelemetry::new(agent_telemetry.hub());
+            telemetry.sync(engine);
+            dog.mitigation_telemetry = Some(telemetry);
+        }
         Ok(dog)
     }
 
@@ -934,6 +990,43 @@ mod tests {
             straight.router().sniffer(Direction::Outbound).frames_seen()
         );
         straight.shutdown();
+        resumed.shutdown();
+    }
+
+    #[test]
+    fn count_level_mitigation_sheds_and_survives_resume() {
+        let mut dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 1024)
+            .with_mitigation(MitigationPolicy::paper_default());
+        // Period 0: balanced — seeds `K̄` at ~200, no engagement.
+        dog.submit_batch(Direction::Outbound, batch_of((0..200).map(syn_frame)));
+        dog.submit_batch(Direction::Inbound, batch_of((0..200).map(synack_frame)));
+        dog.flush();
+        dog.close_period();
+        assert!(!dog.mitigation().unwrap().is_engaged());
+        // Period 1: flood. x = 500/200 = 2.5 slams the gate to the
+        // threshold in one period; count-level shedding cuts the excess
+        // over K̄ + allowance.
+        dog.submit_batch(Direction::Outbound, batch_of((0..500).map(syn_frame)));
+        dog.flush();
+        dog.close_period();
+        let stats = *dog.mitigation().unwrap().stats();
+        assert!(dog.mitigation().unwrap().is_engaged());
+        assert_eq!(stats.engagements, 1);
+        assert!(
+            stats.throttled_syns > 250,
+            "flood excess must be shed, got {}",
+            stats.throttled_syns
+        );
+        // Checkpoint on the period boundary; the engagement (gate, stats,
+        // allowance) must survive the restart.
+        let json = dog.checkpoint().to_json();
+        dog.shutdown();
+        let checkpoint = Checkpoint::from_json(&json).unwrap();
+        let resumed =
+            ConcurrentSynDog::resume(&checkpoint, 64, OverflowPolicy::Block, None).unwrap();
+        let restored = resumed.mitigation().expect("mitigation engine restored");
+        assert!(restored.is_engaged());
+        assert_eq!(*restored.stats(), stats);
         resumed.shutdown();
     }
 

@@ -33,17 +33,18 @@ use std::sync::Arc;
 
 use syndog::{Detection, SynDogConfig};
 use syndog_attack::{DdosCampaign, SynFlood};
-use syndog_net::{Ipv4Net, MacAddr};
+use syndog_net::{Ipv4Net, MacAddr, SegmentKind};
 use syndog_sim::par::{run_indexed, Parallelism};
 use syndog_sim::{SimRng, SimTime};
 use syndog_telemetry::Telemetry;
 use syndog_traceback::{AttackPath, RouterId};
 use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
-use syndog_traffic::trace::Trace;
+use syndog_traffic::trace::{Direction, Trace};
 
 use crate::agent::SynDogAgent;
 use crate::faults::FaultSpec;
 use crate::locate::{SourceLocator, Suspect};
+use crate::mitigate::MitigationPolicy;
 
 /// Derives an independent seed for stream `stream` of a master seed
 /// (SplitMix64 finalizer over `master + (stream + 1)·γ`). Pure, so fleet
@@ -108,6 +109,11 @@ pub struct Scenario {
     /// Optional fault injection applied to every stub's record stream
     /// (each stub gets its own derived fault seed).
     pub faults: Option<FaultSpec>,
+    /// Optional source-end mitigation: every agent gets a
+    /// [`MitigationEngine`](crate::mitigate::MitigationEngine) with this
+    /// policy, so alarms install keyed SYN throttles (trace-level runs)
+    /// or aggregate count-level shedding (count-level runs).
+    pub mitigation: Option<MitigationPolicy>,
     /// The master seed every per-stub seed derives from.
     pub master_seed: u64,
 }
@@ -120,6 +126,7 @@ impl Scenario {
             stubs: Vec::new(),
             config,
             faults: None,
+            mitigation: None,
             master_seed,
         }
     }
@@ -218,6 +225,14 @@ impl Scenario {
     #[must_use]
     pub fn with_faults(mut self, spec: FaultSpec) -> Self {
         self.faults = Some(spec);
+        self
+    }
+
+    /// Returns the scenario with source-end mitigation enabled on every
+    /// stub's agent.
+    #[must_use]
+    pub fn with_mitigation(mut self, policy: MitigationPolicy) -> Self {
+        self.mitigation = Some(policy);
         self
     }
 
@@ -336,6 +351,9 @@ impl Fleet {
         if let Some(hub) = &self.telemetry {
             agent.set_stub_telemetry(Arc::clone(hub));
         }
+        if let Some(policy) = self.scenario.mitigation {
+            agent.set_mitigation(policy);
+        }
         agent
     }
 
@@ -358,18 +376,64 @@ impl Fleet {
         let spec = &self.scenario.stubs[index];
         let trace = self.stub_trace(index);
         let mut agent = self.new_agent(spec);
-        agent.run_trace(&trace);
-        // The paper's post-alarm localization: arm ingress-filter MAC
-        // accounting at the first alarm and sweep the rest of the trace.
-        let suspect = agent.first_alarm().and_then(|alarm| {
-            let mut locator = SourceLocator::new(spec.stub());
-            locator.arm();
-            for record in trace.records().iter().filter(|r| r.time >= alarm.time) {
-                locator.observe(record);
+        let period = agent.router().period();
+        // Square off to ceil(duration / t0) periods, the same envelope
+        // `LeafRouter::ingest` uses, so the mitigated streaming path and
+        // the batch path produce identical detection series.
+        let last = trace.duration().as_micros().div_ceil(period.as_micros());
+        let mut forwarded_syns = vec![0u64; last as usize];
+        if self.scenario.mitigation.is_some() {
+            // Mitigated path: stream every record through the agent's
+            // filter (observe first — the detector measures the offered
+            // load — then judge), tallying what the throttles let reach
+            // the victim.
+            for record in trace.records() {
+                let p = record.time.period_index(period);
+                if p >= last {
+                    // Handshake tails past the nominal duration: ignored,
+                    // like `LeafRouter::ingest`.
+                    continue;
+                }
+                let decision = agent.filter_record(record);
+                if record.direction == Direction::Outbound
+                    && record.kind == SegmentKind::Syn
+                    && decision.forwarded()
+                {
+                    forwarded_syns[p as usize] += 1;
+                }
             }
-            locator.suspects().into_iter().next()
-        });
-        StubReport::from_run(spec, &agent, suspect)
+            agent.close_periods_to(last);
+        } else {
+            agent.run_trace(&trace);
+            for (p, sample) in trace.period_counts(period).iter().enumerate() {
+                if p < forwarded_syns.len() {
+                    forwarded_syns[p] = sample.syn;
+                }
+            }
+        }
+        // Post-alarm localization: the mitigated agent's own armed
+        // locator already holds the tallies; otherwise run the paper's
+        // sweep from the first alarm to the end of the trace.
+        let suspect = match agent.mitigation() {
+            Some(engine) => engine
+                .suspect()
+                .cloned()
+                .or_else(|| engine.locator().suspects().into_iter().next()),
+            None => agent.first_alarm().and_then(|alarm| {
+                let mut locator = SourceLocator::new(spec.stub());
+                locator.arm();
+                for record in trace.records().iter().filter(|r| r.time >= alarm.time) {
+                    locator.observe(record);
+                }
+                locator.suspects().into_iter().next()
+            }),
+        };
+        let rates = victim_rates(
+            &forwarded_syns,
+            agent.first_alarm().map(|a| a.period),
+            period.as_secs_f64(),
+        );
+        StubReport::from_run(spec, &agent, suspect, rates)
     }
 
     fn run_stub_counts(&self, index: usize) -> (StubReport, Vec<Detection>) {
@@ -383,11 +447,53 @@ impl Fleet {
             }
         }
         let mut agent = self.new_agent(spec);
+        let mut forwarded_syns = Vec::with_capacity(counts.len());
         let detections = counts
             .into_iter()
-            .map(|sample| agent.observe_period(sample))
+            .map(|sample| {
+                let detection = agent.observe_period(sample);
+                // Count-level shedding: no per-record attribution exists
+                // here, so while engaged the engine cuts the aggregate
+                // SYN excess over `K̄ + allowance`.
+                let shed = agent
+                    .mitigation_mut()
+                    .map_or(0, |engine| engine.count_throttle(&detection, sample.syn));
+                forwarded_syns.push(sample.syn - shed);
+                detection
+            })
             .collect();
-        (StubReport::from_run(spec, &agent, None), detections)
+        let rates = victim_rates(
+            &forwarded_syns,
+            agent.first_alarm().map(|a| a.period),
+            OBSERVATION_PERIOD.as_secs_f64(),
+        );
+        (StubReport::from_run(spec, &agent, None, rates), detections)
+    }
+}
+
+/// Victim-observed SYN rates around the first alarm: `(before, after)` in
+/// SYN/s, where *before* covers periods up to and including the alarming
+/// period (throttles only engage at its close) and *after* covers the
+/// periods past it. With no alarm — or an empty window — both sides
+/// report the whole-run forwarded rate, so clean stubs read
+/// `before == after`.
+fn victim_rates(forwarded_syns: &[u64], first_alarm: Option<u64>, period_secs: f64) -> (f64, f64) {
+    let rate = |window: &[u64]| {
+        if window.is_empty() || period_secs <= 0.0 {
+            None
+        } else {
+            Some(window.iter().sum::<u64>() as f64 / (window.len() as f64 * period_secs))
+        }
+    };
+    let whole = rate(forwarded_syns).unwrap_or(0.0);
+    match first_alarm {
+        Some(p) if (p as usize) < forwarded_syns.len().saturating_sub(1) => {
+            let split = p as usize + 1;
+            let before = rate(&forwarded_syns[..split]).unwrap_or(whole);
+            let after = rate(&forwarded_syns[split..]).unwrap_or(before);
+            (before, after)
+        }
+        _ => (whole, whole),
     }
 }
 
@@ -428,10 +534,37 @@ pub struct StubReport {
     /// Whether the suspect MAC is the planted attacker's (`None` when
     /// there is no suspect or no planted attack).
     pub suspect_is_attacker: Option<bool>,
+    /// Whether this run attached a mitigation engine to the agent.
+    pub mitigated: bool,
+    /// Period the throttles (last) engaged at, if they ever did.
+    pub engaged_period: Option<u64>,
+    /// Period the hysteresis (last) released the throttles at.
+    pub release_period: Option<u64>,
+    /// SYNs the throttles dropped (keyed buckets or count-level shed).
+    pub throttled_syns: u64,
+    /// Throttled SYNs that were *not* spoofed — collateral damage to
+    /// legitimate traffic (trace-level runs only).
+    pub collateral_syns: u64,
+    /// Spoofed-source SYNs offered while engaged (trace-level runs only).
+    pub attack_syns_offered: u64,
+    /// Spoofed-source SYNs the buckets still admitted.
+    pub attack_syns_forwarded: u64,
+    /// Victim-observed forwarded SYN rate (SYN/s) up to and including
+    /// the first alarming period; the whole-run rate when nothing alarms.
+    pub victim_syn_rate_before: f64,
+    /// Victim-observed forwarded SYN rate after the first alarming
+    /// period — with mitigation on, this is what the throttles let
+    /// through.
+    pub victim_syn_rate_after: f64,
 }
 
 impl StubReport {
-    fn from_run(spec: &StubSpec, agent: &SynDogAgent, suspect: Option<Suspect>) -> Self {
+    fn from_run(
+        spec: &StubSpec,
+        agent: &SynDogAgent,
+        suspect: Option<Suspect>,
+        victim_rates: (f64, f64),
+    ) -> Self {
         let attack_start_period = spec
             .attack
             .as_ref()
@@ -466,6 +599,19 @@ impl StubReport {
                 .and_then(|s| spec.attack.as_ref().map(|f| s.mac == f.attacker_mac)),
             suspect_mac: suspect.as_ref().map(|s| s.mac),
             suspect_share: suspect.as_ref().map_or(0.0, |s| s.share),
+            mitigated: agent.mitigation().is_some(),
+            engaged_period: agent.mitigation().and_then(|e| e.engaged_at()),
+            release_period: agent.mitigation().and_then(|e| e.released_at()),
+            throttled_syns: agent.mitigation().map_or(0, |e| e.stats().throttled_syns),
+            collateral_syns: agent.mitigation().map_or(0, |e| e.stats().collateral_syns),
+            attack_syns_offered: agent
+                .mitigation()
+                .map_or(0, |e| e.stats().attack_syns_offered),
+            attack_syns_forwarded: agent
+                .mitigation()
+                .map_or(0, |e| e.stats().attack_syns_forwarded),
+            victim_syn_rate_before: victim_rates.0,
+            victim_syn_rate_after: victim_rates.1,
         }
     }
 }
@@ -579,6 +725,20 @@ impl FleetReport {
         for s in self.implicated() {
             out.push_str(&format!("IMPLICATED {}\n", s.stub));
         }
+        for s in self.stubs.iter().filter(|s| s.engaged_period.is_some()) {
+            out.push_str(&format!(
+                "THROTTLED {} engaged=p{} released={} throttled={} collateral={} \
+                 victim_syn_rate {:.3}->{:.3} syn/s\n",
+                s.stub,
+                s.engaged_period.expect("filtered on engaged"),
+                s.release_period
+                    .map_or("active".to_string(), |p| format!("p{p}")),
+                s.throttled_syns,
+                s.collateral_syns,
+                s.victim_syn_rate_before,
+                s.victim_syn_rate_after,
+            ));
+        }
         let check = self.topology_cross_check();
         out.push_str(&format!(
             "topology cross-check: {} ({} expected source(s), {} implicated)\n",
@@ -595,12 +755,14 @@ impl FleetReport {
         let mut out = String::from(
             "stub,prefix,periods,attacked,attack_rate,attack_start_period,implicated,\
              first_alarm_period,first_alarm_secs,detection_delay_periods,false_alarm_periods,\
-             suspect_mac,suspect_share,suspect_is_attacker\n",
+             suspect_mac,suspect_share,suspect_is_attacker,mitigated,engaged_period,\
+             release_period,throttled_syns,collateral_syns,attack_syns_offered,\
+             attack_syns_forwarded,victim_syn_rate_before,victim_syn_rate_after\n",
         );
         let opt = |v: Option<u64>| v.map_or(String::new(), |v| v.to_string());
         for s in &self.stubs {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{:.6},{:.6}\n",
                 s.name,
                 s.stub,
                 s.periods,
@@ -617,6 +779,15 @@ impl FleetReport {
                 s.suspect_share,
                 s.suspect_is_attacker
                     .map_or(String::new(), |b| b.to_string()),
+                s.mitigated,
+                opt(s.engaged_period),
+                opt(s.release_period),
+                s.throttled_syns,
+                s.collateral_syns,
+                s.attack_syns_offered,
+                s.attack_syns_forwarded,
+                s.victim_syn_rate_before,
+                s.victim_syn_rate_after,
             ));
         }
         out

@@ -17,6 +17,10 @@
 //!   the detection series, exploiting the CUSUM's climb-and-drain shape,
 //! - [`locate`] — §4.2.3's post-alarm source localization by per-MAC
 //!   accounting of spoofed-source SYNs,
+//! - [`mitigate`] — the detect→act loop an alarm enables at the first
+//!   mile: keyed token-bucket SYN throttles sized from the stub's `K̄`,
+//!   installed on alarm and released by hysteresis, with full
+//!   throttled/passed/collateral accounting,
 //! - [`source`] — the unified ingestion boundary: a [`FrameSource`]
 //!   produces batches of classified events from trace records, raw
 //!   frames or pcap captures, and [`LeafRouter::ingest`] is the single
@@ -51,6 +55,7 @@ pub mod episodes;
 pub mod faults;
 pub mod fleet;
 pub mod locate;
+pub mod mitigate;
 pub mod router;
 pub mod sniffer;
 pub mod source;
@@ -63,10 +68,14 @@ pub use episodes::{extract_episodes, AttackEpisode};
 pub use faults::{FaultInjector, FaultLedger, FaultSpec};
 pub use fleet::{derive_seed, Fleet, FleetReport, Scenario, StubReport, StubSpec, TopologyCheck};
 pub use locate::SourceLocator;
+pub use mitigate::{
+    MitigationDecision, MitigationEngine, MitigationPolicy, MitigationState, MitigationStats,
+    ThrottleKey, TokenBucket,
+};
 pub use router::LeafRouter;
 pub use sniffer::Sniffer;
 pub use source::{
     EventBatch, FrameEvent, FrameSource, PcapSource, RawFrameSource, TraceSource,
     DEFAULT_BATCH_SIZE,
 };
-pub use telemetry::{AgentTelemetry, ConcurrentTelemetry, FaultTelemetry};
+pub use telemetry::{AgentTelemetry, ConcurrentTelemetry, FaultTelemetry, MitigationTelemetry};

@@ -40,7 +40,7 @@ pub struct Suspect {
 }
 
 /// The ingress-filtering-based source locator.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SourceLocator {
     stub: Option<Ipv4Net>,
     armed: bool,
@@ -57,6 +57,25 @@ impl SourceLocator {
             armed: false,
             by_mac: HashMap::new(),
         }
+    }
+
+    /// Rebuilds a locator from previously captured accounting state
+    /// (checkpoint restore).
+    pub(crate) fn from_parts(
+        stub: Option<Ipv4Net>,
+        armed: bool,
+        by_mac: HashMap<MacAddr, MacActivity>,
+    ) -> Self {
+        SourceLocator {
+            stub,
+            armed,
+            by_mac,
+        }
+    }
+
+    /// The stub prefix this locator filters against, if any.
+    pub fn stub(&self) -> Option<Ipv4Net> {
+        self.stub
     }
 
     /// Whether per-MAC accounting is currently running.

@@ -32,6 +32,13 @@
 //! | `syndog_flush_micros` | histogram | |
 //! | `syndog_sniffer_restarts_total` | counter | `interface` |
 //! | `syndog_faults_total` | counter | `kind` |
+//! | `syndog_mitigation_engaged` | gauge | |
+//! | `syndog_mitigation_active_keys` | gauge | |
+//! | `syndog_mitigation_engagements_total` | counter | |
+//! | `syndog_mitigation_releases_total` | counter | |
+//! | `syndog_mitigation_throttled_syns_total` | counter | |
+//! | `syndog_mitigation_passed_syns_total` | counter | |
+//! | `syndog_mitigation_collateral_syns_total` | counter | |
 //!
 //! Fleet deployments register the per-agent and per-interface series via
 //! [`AgentTelemetry::with_labels`] with an extra `stub="<cidr>"` label, so
@@ -48,6 +55,7 @@ use syndog_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry};
 use syndog_traffic::trace::{Direction, PeriodSample};
 
 use crate::faults::FaultLedger;
+use crate::mitigate::{MitigationEngine, MitigationStats};
 use crate::sniffer::Sniffer;
 
 /// A stable lowercase interface name for the `interface` label.
@@ -118,6 +126,7 @@ impl InterfaceSeries {
 #[derive(Debug, Clone)]
 pub struct AgentTelemetry {
     hub: Arc<Telemetry>,
+    labels: Vec<(String, String)>,
     periods: Arc<Counter>,
     syn: Arc<Counter>,
     synack: Arc<Counter>,
@@ -156,6 +165,10 @@ impl AgentTelemetry {
             outbound: InterfaceSeries::new(&hub, Direction::Outbound, labels),
             inbound: InterfaceSeries::new(&hub, Direction::Inbound, labels),
             alarm_was_active: false,
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             hub,
         }
     }
@@ -163,6 +176,14 @@ impl AgentTelemetry {
     /// The shared hub this agent reports into.
     pub fn hub(&self) -> &Arc<Telemetry> {
         &self.hub
+    }
+
+    /// The extra labels every series was registered under (empty unless
+    /// constructed via [`AgentTelemetry::with_labels`]). Companion series
+    /// (mitigation, faults) register under the same labels to stay
+    /// attributable to the same agent.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
     }
 
     /// Records one closed observation period: the sample the detector
@@ -371,6 +392,64 @@ impl FaultTelemetry {
     }
 }
 
+/// Mitigation posture and decision accounting for one
+/// [`MitigationEngine`], published as `syndog_mitigation_*` series by
+/// delta against the engine's plain-value [`MitigationStats`] — the
+/// engine itself stays telemetry-free and byte-comparable, like the
+/// sniffers and the fault ledger.
+#[derive(Debug, Clone)]
+pub struct MitigationTelemetry {
+    engaged: Arc<Gauge>,
+    active_keys: Arc<Gauge>,
+    engagements: Arc<Counter>,
+    releases: Arc<Counter>,
+    throttled: Arc<Counter>,
+    passed: Arc<Counter>,
+    collateral: Arc<Counter>,
+    last: MitigationStats,
+}
+
+impl MitigationTelemetry {
+    /// Registers the mitigation series on the hub.
+    pub fn new(hub: &Telemetry) -> Self {
+        Self::with_labels(hub, &[])
+    }
+
+    /// Registers the mitigation series under extra labels (fleet runs pass
+    /// the same `stub="<cidr>"` label as the agent's own series).
+    pub fn with_labels(hub: &Telemetry, labels: &[(&str, &str)]) -> Self {
+        let registry = hub.registry();
+        MitigationTelemetry {
+            engaged: registry.gauge_with("syndog_mitigation_engaged", labels),
+            active_keys: registry.gauge_with("syndog_mitigation_active_keys", labels),
+            engagements: registry.counter_with("syndog_mitigation_engagements_total", labels),
+            releases: registry.counter_with("syndog_mitigation_releases_total", labels),
+            throttled: registry.counter_with("syndog_mitigation_throttled_syns_total", labels),
+            passed: registry.counter_with("syndog_mitigation_passed_syns_total", labels),
+            collateral: registry.counter_with("syndog_mitigation_collateral_syns_total", labels),
+            last: MitigationStats::default(),
+        }
+    }
+
+    /// Publishes the engine's posture (gauges) and decision tallies
+    /// (counter deltas). Call at period granularity, after
+    /// [`MitigationEngine::on_detection`].
+    pub fn sync(&mut self, engine: &MitigationEngine) {
+        let stats = *engine.stats();
+        self.engaged.set(f64::from(u8::from(engine.is_engaged())));
+        self.active_keys.set(engine.keys().len() as f64);
+        self.engagements
+            .add(stats.engagements - self.last.engagements);
+        self.releases.add(stats.releases - self.last.releases);
+        self.throttled
+            .add(stats.throttled_syns - self.last.throttled_syns);
+        self.passed.add(stats.passed_syns - self.last.passed_syns);
+        self.collateral
+            .add(stats.collateral_syns - self.last.collateral_syns);
+        self.last = stats;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +624,49 @@ mod tests {
         assert_eq!(
             snap.counter("syndog_faults_total", &[("kind", "corrupt")]),
             Some(0)
+        );
+    }
+
+    #[test]
+    fn mitigation_telemetry_publishes_posture_and_deltas() {
+        use crate::mitigate::MitigationPolicy;
+        use syndog::SynDogConfig;
+
+        let hub = Telemetry::new();
+        let mut telemetry = MitigationTelemetry::new(&hub);
+        let mut engine = MitigationEngine::new(
+            "128.1.0.0/16".parse().unwrap(),
+            &SynDogConfig::paper_default(),
+            MitigationPolicy::paper_default(),
+        );
+        let flood = Detection {
+            period: 0,
+            delta: 200.0,
+            k_average: 100.0,
+            x: 2.0,
+            statistic: 2.0,
+            alarm: true,
+        };
+        engine.on_detection(&flood, 0);
+        telemetry.sync(&engine);
+        // Re-syncing without new activity must not double-count.
+        telemetry.sync(&engine);
+        engine.count_throttle(&flood, 300);
+        telemetry.sync(&engine);
+        let snap = hub.snapshot();
+        assert_eq!(snap.gauge("syndog_mitigation_engaged"), Some(1.0));
+        assert_eq!(snap.counter_total("syndog_mitigation_engagements_total"), 1);
+        assert_eq!(
+            snap.counter_total("syndog_mitigation_throttled_syns_total"),
+            195
+        );
+        assert_eq!(
+            snap.counter_total("syndog_mitigation_passed_syns_total"),
+            105
+        );
+        assert_eq!(
+            snap.counter_total("syndog_mitigation_collateral_syns_total"),
+            0
         );
     }
 

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use syndog::SynDogConfig;
 use syndog_router::fleet::{Fleet, Scenario};
+use syndog_router::mitigate::MitigationPolicy;
 use syndog_sim::par::Parallelism;
 use syndog_sim::{SimDuration, SimTime};
 use syndog_telemetry::Telemetry;
@@ -138,6 +139,107 @@ fn distributed_flood_below_single_point_threshold_is_localized() {
     assert_eq!(check.expected_sources.len(), 2);
     assert!(check.matches(), "topology cross-check must agree");
     assert!(report.render().contains("topology cross-check: MATCH"));
+}
+
+/// The ddos scenario with a *bounded* flood (600 s, periods 30–59) so the
+/// hysteresis release is observable before the 90-period trace ends.
+fn bounded_ddos_scenario(master_seed: u64) -> Scenario {
+    let mut scenario = ddos_scenario(master_seed);
+    for i in scenario.attacked_indices() {
+        scenario.stubs[i].attack.as_mut().unwrap().duration = SimDuration::from_secs(600);
+    }
+    scenario
+}
+
+/// The tentpole's acceptance criteria, end to end: with `--mitigate`
+/// semantics on, attacked stubs engage at the first alarm, cut ≥ 90% of
+/// the attack SYNs the victim would have seen, harm no legitimate
+/// traffic, and release within the hysteresis window of the attack's end
+/// — while clean stubs' rows are identical to a run without mitigation.
+#[test]
+fn mitigation_collapses_attack_traffic_then_releases() {
+    let scenario = bounded_ddos_scenario(2024);
+    let baseline = Fleet::new(scenario.clone()).run();
+    let mitigated = Fleet::new(scenario.with_mitigation(MitigationPolicy::paper_default())).run();
+
+    for (base, row) in baseline.stubs.iter().zip(&mitigated.stubs) {
+        assert!(row.mitigated);
+        if row.attacked {
+            // Throttles engage exactly at the first alarm's period close.
+            assert_eq!(row.engaged_period, row.first_alarm_period);
+            // ≥ 90% of the attack SYNs offered while engaged are shed.
+            assert!(row.attack_syns_offered > 1000, "row: {row:?}");
+            assert!(
+                (row.attack_syns_forwarded as f64) < 0.1 * row.attack_syns_offered as f64,
+                "throttle leaked {} of {} attack SYNs",
+                row.attack_syns_forwarded,
+                row.attack_syns_offered
+            );
+            // No legitimate SYN was ever throttled.
+            assert_eq!(row.collateral_syns, 0);
+            // The flood ends in period 59; hysteresis (M = 3 calm
+            // periods) must release shortly after — not hours later.
+            let release = row.release_period.expect("throttles must release");
+            assert!(
+                (60..=64).contains(&release),
+                "release at p{release}, want within the hysteresis window"
+            );
+            // The victim-observed SYN rate collapses back toward the
+            // background-only rate: the unmitigated run forwards the
+            // flood, the mitigated run does not.
+            assert_eq!(row.victim_syn_rate_before, base.victim_syn_rate_before);
+            assert!(
+                row.victim_syn_rate_after < 0.6 * base.victim_syn_rate_after,
+                "after-alarm rate {} vs unmitigated {}",
+                row.victim_syn_rate_after,
+                base.victim_syn_rate_after
+            );
+        } else {
+            // Clean stubs: never engaged, nothing throttled, and the row
+            // is byte-identical to the unmitigated run apart from the
+            // `mitigated` flag itself.
+            assert_eq!(row.engaged_period, None);
+            assert_eq!(row.throttled_syns, 0);
+            let mut unflagged = row.clone();
+            unflagged.mitigated = false;
+            assert_eq!(&unflagged, base);
+        }
+    }
+    // The render carries the mitigation verdicts the CI smoke greps for.
+    let rendered = mitigated.render();
+    assert!(rendered.contains("THROTTLED 128.1.0.0/16"));
+    assert!(rendered.contains("THROTTLED 128.3.0.0/16"));
+}
+
+/// Mitigation does not disturb worker-count determinism: the throttle
+/// state is keyed on ordered maps and clocked purely by simulated time,
+/// so the mitigated report is byte-identical for any `--jobs`.
+#[test]
+fn mitigated_report_is_identical_across_worker_counts() {
+    let scenario = bounded_ddos_scenario(2024).with_mitigation(MitigationPolicy::paper_default());
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            Fleet::new(scenario.clone())
+                .with_parallelism(Parallelism::Fixed(w))
+                .run()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[0], runs[2]);
+    assert_eq!(runs[0].render(), runs[2].render());
+    assert_eq!(runs[0].to_csv(), runs[2].to_csv());
+
+    let count_runs: Vec<_> = [1usize, 8]
+        .iter()
+        .map(|&w| {
+            Fleet::new(scenario.clone())
+                .with_parallelism(Parallelism::Fixed(w))
+                .run_counts()
+        })
+        .collect();
+    assert_eq!(count_runs[0], count_runs[1]);
+    assert_eq!(count_runs[0].to_csv(), count_runs[1].to_csv());
 }
 
 /// Per-stub telemetry labels: one shared hub, no collisions, and the

@@ -199,6 +199,7 @@ fn run_one<R: FnMut(&mut Bencher)>(
     let median = bencher.samples[bencher.samples.len() / 2];
     let low = bencher.samples[0];
     let high = *bencher.samples.last().expect("non-empty");
+    append_csv(name, low, median, high, throughput);
     match throughput {
         Some(Throughput::Bytes(bytes)) => {
             let gib_per_s = bytes as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
@@ -229,6 +230,52 @@ fn run_one<R: FnMut(&mut Bencher)>(
             );
         }
     }
+}
+
+/// Appends one result row to the CSV named by `SYNDOG_BENCH_CSV` (the
+/// machine-readable artifact CI uploads). Silently disabled when the
+/// variable is unset; a new file gets a header first.
+fn append_csv(
+    name: &str,
+    low: Duration,
+    median: Duration,
+    high: Duration,
+    throughput: Option<Throughput>,
+) {
+    let Ok(path) = std::env::var("SYNDOG_BENCH_CSV") else {
+        return;
+    };
+    use std::io::Write;
+    let fresh = !std::path::Path::new(&path).exists();
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("warning: cannot open SYNDOG_BENCH_CSV={path}");
+        return;
+    };
+    if fresh {
+        let _ = writeln!(file, "benchmark,low_ns,median_ns,high_ns,throughput");
+    }
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => format!(
+            "{:.3} GiB/s",
+            bytes as f64 / median.as_secs_f64() / (1u64 << 30) as f64
+        ),
+        Some(Throughput::Elements(elements)) => format!(
+            "{:.3} Melem/s",
+            elements as f64 / median.as_secs_f64() / 1e6
+        ),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        file,
+        "{name},{},{},{},{rate}",
+        low.as_nanos(),
+        median.as_nanos(),
+        high.as_nanos()
+    );
 }
 
 fn fmt_duration(d: Duration) -> String {
