@@ -7,6 +7,7 @@
 //! paper-vs-measured record.
 
 pub mod experiments;
+pub mod quickbench;
 pub mod report;
 
 pub use experiments::*;

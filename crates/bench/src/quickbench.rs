@@ -1,0 +1,289 @@
+//! Wall-clock throughput snapshots emitted as machine-readable
+//! `BENCH_*.json` files.
+//!
+//! Complements the statistical `criterion` benches in `benches/`: this
+//! module runs in well under a second via `repro bench` and snapshots the
+//! four hot paths a deployment pays for — packet classification, the
+//! concurrent deployment's frame submission channel, the mitigation
+//! throttle's admit/deny decision, and each detection strategy's
+//! per-period `observe`. CI writes the files at the repo root and uploads
+//! them as an artifact, so throughput regressions show up in the diff of
+//! a committed `BENCH_*.json` rather than only in a transient log.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use syndog::{Detection, DetectorKind, PeriodSignals, SynDogConfig};
+use syndog_net::packet::PacketBuilder;
+use syndog_net::{classify, FrameBatch, Ipv4Net, MacAddr, SegmentKind, TcpFlags};
+use syndog_router::{ConcurrentSynDog, MitigationEngine, MitigationPolicy};
+use syndog_sim::SimTime;
+use syndog_traffic::trace::{Direction, TraceRecord};
+
+/// One measured case: a label, how many operations ran, and how long the
+/// loop took on this machine.
+#[derive(Debug, Clone)]
+pub struct BenchCase {
+    /// Case label within the report (e.g. a detector name).
+    pub case: String,
+    /// Operations executed.
+    pub ops: u64,
+    /// Wall-clock seconds for the whole loop.
+    pub elapsed_secs: f64,
+}
+
+impl BenchCase {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.ops as f64 / self.elapsed_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A named group of measured cases, serialized to `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Report name; also the file stem suffix.
+    pub name: &'static str,
+    /// What one operation is (documentation for readers of the JSON).
+    pub op: &'static str,
+    /// Measured cases.
+    pub cases: Vec<BenchCase>,
+}
+
+impl BenchReport {
+    /// Renders the report as a small self-describing JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"op\": \"{}\",\n", self.op));
+        out.push_str("  \"unit\": \"ops_per_sec\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, case) in self.cases.iter().enumerate() {
+            let comma = if i + 1 < self.cases.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"case\": \"{}\", \"ops\": {}, \"elapsed_secs\": {:.6}, \
+                 \"ops_per_sec\": {:.1}}}{comma}\n",
+                case.case,
+                case.ops,
+                case.elapsed_secs,
+                case.ops_per_sec()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` under `dir`, returning the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure — a silently missing benchmark artifact is
+    /// worse than an aborted run.
+    pub fn write(&self, dir: &Path) -> PathBuf {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json()).expect("write benchmark JSON");
+        path
+    }
+}
+
+fn timed(case: &str, ops: u64, body: impl FnOnce()) -> BenchCase {
+    let start = Instant::now();
+    body();
+    BenchCase {
+        case: case.to_string(),
+        ops,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// A realistic classification mix: mostly data/ACK traffic, a handshake
+/// minority, a trickle of junk (same mix as the criterion ingest bench).
+fn frame_mix(count: usize) -> Vec<Vec<u8>> {
+    let src = "10.1.2.3:1025".parse().unwrap();
+    let dst = "192.0.2.80:80".parse().unwrap();
+    (0..count)
+        .map(|i| match i % 8 {
+            0 => PacketBuilder::tcp_syn(src, dst).build().unwrap(),
+            1 => PacketBuilder::tcp_syn_ack(dst, src).build().unwrap(),
+            2 => PacketBuilder::tcp(src, dst, TcpFlags::FIN | TcpFlags::ACK)
+                .build()
+                .unwrap(),
+            7 => vec![0u8; 9], // malformed
+            _ => PacketBuilder::tcp(src, dst, TcpFlags::ACK)
+                .payload(vec![0u8; 128])
+                .build()
+                .unwrap(),
+        })
+        .collect()
+}
+
+/// §2 classifier throughput over the realistic frame mix.
+pub fn bench_classify(iterations: u64) -> BenchReport {
+    let frames = frame_mix(1024);
+    let ops = iterations * frames.len() as u64;
+    let case = timed("classify_fast_path", ops, || {
+        let mut alive = 0u64;
+        for _ in 0..iterations {
+            for frame in &frames {
+                if classify(frame).is_ok() {
+                    alive += 1;
+                }
+            }
+        }
+        assert!(alive > 0);
+    });
+    BenchReport {
+        name: "classify",
+        op: "frames classified",
+        cases: vec![case],
+    }
+}
+
+/// Batched frame submission through the concurrent deployment's channel.
+pub fn bench_concurrent_submit(iterations: u64) -> BenchReport {
+    let frames = frame_mix(1024);
+    let ops = iterations * frames.len() as u64;
+    let dog = ConcurrentSynDog::start(SynDogConfig::paper_default(), 256);
+    let case = timed("batched_channel", ops, || {
+        for _ in 0..iterations {
+            let batch: FrameBatch = frames.iter().collect();
+            dog.submit_batch(Direction::Outbound, batch);
+            dog.flush();
+        }
+    });
+    drop(dog);
+    BenchReport {
+        name: "concurrent_submit",
+        op: "frames submitted and sniffed",
+        cases: vec![case],
+    }
+}
+
+/// The mitigation throttle's per-SYN admit/deny decision while engaged.
+pub fn bench_throttle(ops: u64) -> BenchReport {
+    let stub: Ipv4Net = "128.1.0.0/16".parse().unwrap();
+    let mut engine = MitigationEngine::new(
+        stub,
+        &SynDogConfig::paper_default(),
+        MitigationPolicy::paper_default(),
+    );
+    // Push the engine over the engagement gate (x̃ = 0.85 per period
+    // crosses N = 1.05 at the third detection).
+    for period in 0..3 {
+        engine.on_detection(
+            &Detection {
+                period,
+                delta: 85.0,
+                k_average: 100.0,
+                x: 0.85,
+                statistic: 0.0,
+                alarm: false,
+            },
+            period,
+        );
+    }
+    assert!(engine.is_engaged());
+    let syn = TraceRecord::new(
+        SimTime::from_secs(60),
+        Direction::Outbound,
+        SegmentKind::Syn,
+        "10.9.9.9:6000".parse().unwrap(),
+        "199.0.0.80:80".parse().unwrap(),
+    )
+    .with_mac(MacAddr::for_host(9, 9));
+    let case = timed("engaged_process", ops, || {
+        for _ in 0..ops {
+            let _ = engine.process(&syn);
+        }
+    });
+    BenchReport {
+        name: "throttle",
+        op: "SYNs judged by the engaged throttle",
+        cases: vec![case],
+    }
+}
+
+/// Per-period `observe` throughput of every detection strategy.
+pub fn bench_detector_observe(ops: u64) -> BenchReport {
+    let cases = DetectorKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut detector = kind.build(SynDogConfig::paper_default());
+            timed(kind.name(), ops, || {
+                let mut alarms = 0u64;
+                for p in 0..ops {
+                    // A quiet baseline with a flood in the back half, so
+                    // every strategy exercises both branches of its rule.
+                    let flood = if p % 64 >= 32 { 900 } else { 0 };
+                    let d = detector.observe(PeriodSignals {
+                        syn: 100 + flood,
+                        synack: 95,
+                        fin: 90,
+                        rst: 5,
+                    });
+                    alarms += u64::from(d.alarm);
+                }
+                assert!(alarms > 0 || ops < 64);
+            })
+        })
+        .collect();
+    BenchReport {
+        name: "detector_observe",
+        op: "periods observed",
+        cases,
+    }
+}
+
+/// Runs every quick benchmark and writes the `BENCH_*.json` files under
+/// `dir`. `quick` shrinks the loops for smoke tests.
+pub fn run_all(dir: &Path, quick: bool) -> Vec<PathBuf> {
+    let (iters, ops) = if quick { (4, 4096) } else { (200, 200_000) };
+    std::fs::create_dir_all(dir).expect("create benchmark output directory");
+    vec![
+        bench_classify(iters).write(dir),
+        bench_concurrent_submit(iters).write(dir),
+        bench_throttle(ops).write(dir),
+        bench_detector_observe(ops).write(dir),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_render_valid_json_shape() {
+        let report = bench_detector_observe(256);
+        assert_eq!(report.cases.len(), DetectorKind::ALL.len());
+        let json = report.to_json();
+        assert!(json.contains("\"name\": \"detector_observe\""));
+        assert!(json.contains("\"ops_per_sec\""));
+        for kind in DetectorKind::ALL {
+            assert!(json.contains(kind.name()), "missing {kind}: {json}");
+        }
+        // Exactly one trailing entry without a comma.
+        assert_eq!(json.matches("},\n").count(), DetectorKind::ALL.len() - 1);
+    }
+
+    #[test]
+    fn run_all_writes_the_four_artifacts() {
+        let dir = std::env::temp_dir().join(format!("syndog-quickbench-{}", std::process::id()));
+        let files = run_all(&dir, true);
+        assert_eq!(files.len(), 4);
+        for (file, name) in files.iter().zip([
+            "BENCH_classify.json",
+            "BENCH_concurrent_submit.json",
+            "BENCH_throttle.json",
+            "BENCH_detector_observe.json",
+        ]) {
+            assert_eq!(file.file_name().unwrap(), name);
+            let body = std::fs::read_to_string(file).unwrap();
+            assert!(body.contains("\"ops_per_sec\""), "{name}: {body}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

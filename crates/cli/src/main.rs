@@ -3,11 +3,11 @@
 //! ```text
 //! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-//! syndog detect   --in FILE --stub CIDR [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
-//! syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
-//! syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
+//! syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+//! syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
+//! syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
-//! syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
+//! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
@@ -39,6 +39,11 @@
 //! after the attack ends, and the run reports MITIGATION / THROTTLED
 //! lines with throttled / passed / collateral accounting.
 //!
+//! `--detector` (on `detect`, `sniff`, `replay` and `fleet`) selects the
+//! per-period detection strategy — `syndog`, `syn-cusum`, `ewma` or
+//! `fin-pair` (see [`DetectorKind`]). Checkpoints carry the strategy, so
+//! `--resume` rejects the flag along with `--tuned`/`--t0`.
+//!
 //! `detect` and `replay` additionally take the fault/recovery flags:
 //! `--faults SPEC` runs the trace through a seeded [`FaultInjector`]
 //! (detect) or a record-level fault pass (replay); `--checkpoint FILE`
@@ -51,7 +56,7 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use syndog::{theory, SynDogConfig};
+use syndog::{theory, DetectorKind, SynDogConfig};
 use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
 use syndog_router::{
@@ -98,11 +103,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-  syndog detect   --in FILE --stub CIDR [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
-  syndog sniff    --in FILE --stub CIDR [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
-  syndog replay   --in FILE --stub CIDR [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+  syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+  syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
+  syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
-  syndog fleet    [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
+  syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
@@ -118,6 +123,15 @@ extension (.prom, .jsonl, .csv) unless --metrics-format overrides it.
 stats reads a .jsonl snapshot back and summarizes it (or re-renders it
 with --format).
 
+--detector D (detect, sniff, replay, fleet) selects the per-period
+detection strategy: syndog (the paper's normalized SYN-SYN/ACK CUSUM,
+the default), syn-cusum (CUSUM on the SYN count's excursion over its
+own recursive mean — no reverse path needed), ewma (adaptive-threshold
+EWMA with a two-period persistence rule), or fin-pair (SYN vs FIN/RST
+pairing; needs the record-level paths, count-level runs see zero
+closes). All four share the same config, checkpoint envelope, and
+report shape.
+
 detect and replay accept fault/recovery flags. --faults SPEC injects
 seeded, reproducible faults into the run; SPEC is comma-separated
 key=value pairs from drop, dup, truncate, corrupt (probabilities in
@@ -127,7 +141,8 @@ summary. --checkpoint FILE writes a versioned, CRC-checked snapshot of
 the detector and router state after the run; --resume FILE restores
 one and continues the input trace from the checkpoint's period
 boundary, keeping the learned K. The checkpoint carries the detector
-configuration, so --tuned/--t0 are rejected alongside --resume.
+strategy and configuration, so --tuned/--t0/--detector are rejected
+alongside --resume.
 
 fleet simulates the paper's distributed deployment: --stubs copies of
 the --site workload in disjoint 128.i.0.0/16 prefixes, one SYN-dog per
@@ -243,6 +258,14 @@ fn victim() -> SocketAddrV4 {
     SocketAddrV4::new(Ipv4Addr::new(199, 0, 0, 80), 80)
 }
 
+/// Parses `--detector NAME` into a strategy; absent means the paper's.
+fn detector_flag(flags: &Flags) -> Result<DetectorKind, String> {
+    match flags.get("detector") {
+        None => Ok(DetectorKind::Syndog),
+        Some(raw) => raw.parse().map_err(|e| format!("--detector: {e}")),
+    }
+}
+
 /// Parses `--faults SPEC` (`None` when the flag is absent).
 fn faults_flag(flags: &Flags) -> Result<Option<FaultSpec>, String> {
     match flags.get("faults") {
@@ -267,8 +290,12 @@ fn write_checkpoint(checkpoint: &Checkpoint, path: &str) -> Result<(), String> {
 /// checkpoint itself carries the configuration the restored run must
 /// keep using.
 fn reject_config_flags_on_resume(flags: &Flags) -> Result<(), String> {
-    if flags.has("tuned") || flags.get("t0").is_some() {
-        return Err("--resume restores the checkpoint's detector config; drop --tuned/--t0".into());
+    if flags.has("tuned") || flags.get("t0").is_some() || flags.get("detector").is_some() {
+        return Err(
+            "--resume restores the checkpoint's detector (strategy and config); \
+             drop --tuned/--t0/--detector"
+                .into(),
+        );
     }
     Ok(())
 }
@@ -473,7 +500,10 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
             let tail = resume_tail(&trace, k, agent.router().period());
             (agent, tail)
         }
-        None => (SynDogAgent::new(stub, detect_config(&flags)?), trace),
+        None => {
+            let detector = detector_flag(&flags)?.build(detect_config(&flags)?);
+            (SynDogAgent::with_detector(stub, detector), trace)
+        }
     };
     let config = *agent.detector().config();
     if metrics.enabled() {
@@ -588,7 +618,7 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
     let batch_size = batch_size_flag(&flags)?;
     let config = detect_config(&flags)?;
     let metrics = Metrics::from_flags(&flags)?;
-    let mut agent = SynDogAgent::new(stub, config);
+    let mut agent = SynDogAgent::with_detector(stub, detector_flag(&flags)?.build(config));
     if metrics.enabled() {
         agent.set_telemetry(Arc::clone(metrics.hub()));
     }
@@ -660,11 +690,8 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             dog
         }
         None => {
-            let config = detect_config(&flags)?;
-            match metrics.attachment() {
-                Some(hub) => ConcurrentSynDog::with_telemetry(config, capacity, policy, hub),
-                None => ConcurrentSynDog::with_policy(config, capacity, policy),
-            }
+            let detector = detector_flag(&flags)?.build(detect_config(&flags)?);
+            ConcurrentSynDog::with_detector(detector, capacity, policy, metrics.attachment())
         }
     };
     let period = dog.router().period();
@@ -899,6 +926,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             flood.duration = SimDuration::from_secs_f64(attack_duration);
         }
     }
+    scenario = scenario.with_detector(detector_flag(&flags)?);
     if let Some(faults) = faults_flag(&flags)? {
         scenario = scenario.with_faults(faults);
     }
@@ -1112,6 +1140,93 @@ mod tests {
         assert!(cmd_fleet(&args(&["--attackers", "9"])).is_err());
         assert!(cmd_fleet(&args(&["--total-rate", "0"])).is_err());
         assert!(cmd_fleet(&args(&["--site-minutes", "-5"])).is_err());
+    }
+
+    #[test]
+    fn detector_flag_selects_each_strategy_end_to_end() {
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(21);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(300),
+            victim(),
+        );
+        trace.merge(&flood.generate_trace(&mut rng));
+        let stub = site.stub().to_string();
+        let trace_path = dir
+            .join("syndog_test_detector.bin")
+            .to_str()
+            .unwrap()
+            .to_string();
+        write_trace(&trace, &trace_path).unwrap();
+        for kind in DetectorKind::ALL {
+            cmd_detect(&args(&[
+                "--in",
+                &trace_path,
+                "--stub",
+                &stub,
+                "--detector",
+                kind.name(),
+            ]))
+            .unwrap();
+        }
+        // replay threads the strategy through the concurrent deployment
+        // and its checkpoint keeps it on resume.
+        let ck = dir
+            .join("syndog_test_detector.ck.json")
+            .to_str()
+            .unwrap()
+            .to_string();
+        cmd_replay(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--detector",
+            "syn-cusum",
+            "--checkpoint",
+            &ck,
+        ]))
+        .unwrap();
+        let saved = read_checkpoint(&ck).unwrap();
+        assert_eq!(saved.detector.kind(), DetectorKind::SynCusum);
+        cmd_replay(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck,
+        ]))
+        .unwrap();
+        // Misuse fails loudly: unknown strategy, or re-specifying one
+        // against a checkpoint that already carries it.
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--detector",
+            "bogus"
+        ]))
+        .is_err());
+        assert!(cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &stub,
+            "--resume",
+            &ck,
+            "--detector",
+            "ewma"
+        ]))
+        .is_err());
+        for p in [&trace_path, &ck] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

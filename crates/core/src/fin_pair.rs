@@ -100,6 +100,22 @@ impl FinPairDetector {
         counts.fin as f64 + Self::RST_WEIGHT * counts.rst as f64
     }
 
+    /// The configuration this detector runs with.
+    pub fn config(&self) -> &SynDogConfig {
+        &self.config
+    }
+
+    /// The recursive weighted-closes average the normalization divides by,
+    /// if seeded.
+    pub fn closes_average(&self) -> Option<f64> {
+        self.estimator.average()
+    }
+
+    /// Number of periods observed so far.
+    pub fn periods_observed(&self) -> u64 {
+        self.cusum.observations()
+    }
+
     /// Current CUSUM statistic.
     pub fn statistic(&self) -> f64 {
         self.cusum.statistic()

@@ -23,7 +23,11 @@
 //! - [`metrics`] — detection probability / delay / false-alarm summaries
 //!   used by the evaluation harness,
 //! - [`fin_pair`] — the companion mechanism (INFOCOM 2002): the same CUSUM
-//!   over SYN–FIN pairs, usable where SYN/ACKs are not observable.
+//!   over SYN–FIN pairs, usable where SYN/ACKs are not observable,
+//! - [`strategy`] — the pluggable [`Detector`] trait and [`AnyDetector`]
+//!   tagged union: the paper detector plus three competing strategies
+//!   (SYN-count CUSUM, adaptive EWMA, SYN–FIN pairing) behind one
+//!   interface, selectable at runtime and checkpointable.
 //!
 //! The detector is deliberately **stateless with respect to connections**:
 //! its entire memory is three floats (`K̄`, `y_n`, and the period index),
@@ -55,9 +59,14 @@ pub mod fin_pair;
 pub mod metrics;
 pub mod normalize;
 pub mod posterior;
+pub mod strategy;
 pub mod theory;
 
 pub use change::ChangeDetector;
 pub use cusum::{CusumState, NonParametricCusum};
 pub use detector::{Detection, PeriodCounts, SynDogConfig, SynDogDetector};
+pub use fin_pair::{FinPairDetector, SynFinCounts};
 pub use normalize::SynAckEstimator;
+pub use strategy::{
+    AnyDetector, Detector, DetectorKind, EwmaDetector, PeriodSignals, SynCountCusum,
+};

@@ -2,18 +2,19 @@
 //!
 //! [`SynDogAgent`] is the deployable unit the paper installs at a leaf
 //! router: it owns a [`LeafRouter`] (the two sniffers and period clock)
-//! and a [`SynDogDetector`] (normalization + CUSUM), and turns a packet or
-//! record stream into a list of [`Alarm`]s. Because the agent sits at the
-//! first mile, an alarm *is* localization to the stub network; the
+//! and an [`AnyDetector`] (the paper's normalization + CUSUM by default,
+//! or any other [`syndog::strategy`] pick), and turns a packet or record
+//! stream into a list of [`Alarm`]s. Because the agent sits at the first
+//! mile, an alarm *is* localization to the stub network; the
 //! [`crate::locate`] module then narrows it to a host.
 
 use std::sync::Arc;
 
-use syndog::{Detection, PeriodCounts, SynDogConfig, SynDogDetector};
+use syndog::{AnyDetector, Detection, DetectorKind, PeriodSignals, SynDogConfig};
 use syndog_net::Ipv4Net;
 use syndog_sim::{SimDuration, SimTime};
 use syndog_telemetry::Telemetry;
-use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
+use syndog_traffic::trace::{Direction, Trace, TraceRecord};
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::mitigate::{MitigationDecision, MitigationEngine, MitigationPolicy};
@@ -36,7 +37,7 @@ pub struct Alarm {
 #[derive(Debug, Clone)]
 pub struct SynDogAgent {
     router: LeafRouter,
-    detector: SynDogDetector,
+    detector: AnyDetector,
     detections: Vec<Detection>,
     alarms: Vec<Alarm>,
     telemetry: Option<AgentTelemetry>,
@@ -52,11 +53,19 @@ pub struct SynDogAgent {
 impl SynDogAgent {
     /// Creates an agent for a stub network with the given detector
     /// configuration; the observation period comes from the configuration.
+    /// The strategy is the paper's [`DetectorKind::Syndog`]; use
+    /// [`SynDogAgent::with_detector`] to install a different one.
     pub fn new(stub: Ipv4Net, config: SynDogConfig) -> Self {
-        let period = SimDuration::from_secs_f64(config.observation_period_secs);
+        Self::with_detector(stub, DetectorKind::Syndog.build(config))
+    }
+
+    /// Creates an agent running an arbitrary detection strategy; the
+    /// observation period comes from the strategy's configuration.
+    pub fn with_detector(stub: Ipv4Net, detector: AnyDetector) -> Self {
+        let period = SimDuration::from_secs_f64(detector.config().observation_period_secs);
         SynDogAgent {
             router: LeafRouter::new(stub, period),
-            detector: SynDogDetector::new(config),
+            detector,
             detections: Vec::new(),
             alarms: Vec::new(),
             telemetry: None,
@@ -81,13 +90,19 @@ impl SynDogAgent {
         self
     }
 
-    /// Attaches a telemetry hub with this agent's stub prefix as a
-    /// `stub="<cidr>"` label on every per-agent series, so fleets of
-    /// agents can share one hub without colliding (e.g.
-    /// `syndog_alarms_total{stub="128.3.0.0/16"}`).
+    /// Attaches a telemetry hub with this agent's stub prefix and
+    /// detection strategy as `stub="<cidr>"` / `detector="<name>"` labels
+    /// on every per-agent series, so fleets of agents — even ones running
+    /// different strategies over the same stub — can share one hub without
+    /// colliding (e.g.
+    /// `syndog_alarms_total{detector="syndog",stub="128.3.0.0/16"}`).
     pub fn set_stub_telemetry(&mut self, hub: Arc<Telemetry>) {
         let stub = self.router.stub().to_string();
-        self.telemetry = Some(AgentTelemetry::with_labels(hub, &[("stub", &stub)]));
+        let detector = self.detector.kind().name();
+        self.telemetry = Some(AgentTelemetry::with_labels(
+            hub,
+            &[("stub", &stub), ("detector", detector)],
+        ));
         self.sync_mitigation_telemetry();
     }
 
@@ -155,7 +170,7 @@ impl SynDogAgent {
     }
 
     /// The underlying detector.
-    pub fn detector(&self) -> &SynDogDetector {
+    pub fn detector(&self) -> &AnyDetector {
         &self.detector
     }
 
@@ -184,13 +199,10 @@ impl SynDogAgent {
 
     /// Feeds one pre-aggregated period sample directly to the detector
     /// (bypassing the router), for count-level experiments.
-    pub fn observe_period(&mut self, sample: PeriodSample) -> Detection {
+    pub fn observe_period(&mut self, sample: PeriodSignals) -> Detection {
         // Timing is telemetry-only: keep the bare hot path syscall-free.
         let close_started = self.telemetry.is_some().then(std::time::Instant::now);
-        let detection = self.detector.observe(PeriodCounts {
-            syn: sample.syn,
-            synack: sample.synack,
-        });
+        let detection = self.detector.observe(sample);
         // Alarm timestamps are router time, not detector time: offset the
         // detector's (resettable) period index by the base.
         let absolute_period = self.period_base + detection.period;
@@ -351,6 +363,15 @@ mod tests {
     use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
     use syndog_traffic::Direction;
 
+    fn sig(syn: u64, synack: u64) -> PeriodSignals {
+        PeriodSignals {
+            syn,
+            synack,
+            fin: 0,
+            rst: 0,
+        }
+    }
+
     #[test]
     fn clean_site_trace_raises_no_alarms() {
         let site = SiteProfile::auckland();
@@ -411,15 +432,9 @@ mod tests {
     fn observe_period_records_alarm_metadata() {
         let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
         let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
-        agent.observe_period(PeriodSample {
-            syn: 100,
-            synack: 100,
-        });
+        agent.observe_period(sig(100, 100));
         // A massive relative surge alarms immediately.
-        let d = agent.observe_period(PeriodSample {
-            syn: 400,
-            synack: 100,
-        });
+        let d = agent.observe_period(sig(400, 100));
         assert!(d.alarm);
         let alarm = agent.first_alarm().unwrap();
         assert_eq!(alarm.period, 1);
@@ -522,10 +537,7 @@ mod tests {
     fn reset_clears_alarms_but_keeps_router() {
         let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
         let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
-        agent.observe_period(PeriodSample {
-            syn: 500,
-            synack: 1,
-        });
+        agent.observe_period(sig(500, 1));
         assert!(!agent.alarms().is_empty());
         agent.reset_detection();
         assert!(agent.alarms().is_empty());
@@ -541,19 +553,13 @@ mod tests {
         // back to the start of the trace.
         let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
         let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
-        let quiet = PeriodSample {
-            syn: 100,
-            synack: 100,
-        };
+        let quiet = sig(100, 100);
         agent.observe_period(quiet);
         agent.observe_period(quiet);
         agent.reset_detection();
         assert_eq!(agent.period_base(), 2);
         agent.observe_period(quiet);
-        let d = agent.observe_period(PeriodSample {
-            syn: 400,
-            synack: 100,
-        });
+        let d = agent.observe_period(sig(400, 100));
         assert!(d.alarm);
         let alarm = agent.first_alarm().unwrap();
         // Detector-relative index restarts…
@@ -567,14 +573,8 @@ mod tests {
     fn checkpoint_round_trips_agent_state() {
         let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
         let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
-        agent.observe_period(PeriodSample {
-            syn: 100,
-            synack: 100,
-        });
-        agent.observe_period(PeriodSample {
-            syn: 400,
-            synack: 100,
-        });
+        agent.observe_period(sig(100, 100));
+        agent.observe_period(sig(400, 100));
         let checkpoint = agent.checkpoint();
         let json = checkpoint.to_json();
         let parsed = Checkpoint::from_json(&json).unwrap();

@@ -7,11 +7,11 @@
 //! [`Checkpoint`] captures everything the detection pipeline needs to
 //! resume exactly where it stopped:
 //!
-//! - the detector ([`SynDogDetector`]: config, `K̄` estimator, CUSUM
-//!   statistic, period count),
+//! - the detector (an [`AnyDetector`]: which strategy, its config, learned
+//!   baseline, decision statistic, period count),
 //! - the router's period clock and stub prefix,
-//! - both sniffers' pending (`syn`/`synack` since the last period close)
-//!   and lifetime counters,
+//! - both sniffers' pending (`syn`/`synack`/`fin`/`rst` since the last
+//!   period close) and lifetime counters,
 //! - the recorded detection series and alarms, plus the agent's
 //!   period-index base,
 //! - the mitigation engine, when one is attached ([`MitigationState`]):
@@ -25,16 +25,17 @@
 //! A checkpoint file is a JSON envelope:
 //!
 //! ```json
-//! {"magic":"syndog-checkpoint","version":2,"crc32":3735928559,"payload":"{…}"}
+//! {"magic":"syndog-checkpoint","version":3,"crc32":3735928559,"payload":"{…}"}
 //! ```
 //!
 //! The `payload` string is the serialized [`Checkpoint`]; `crc32` is the
 //! IEEE CRC-32 of the payload's UTF-8 bytes. Rules, in validation order:
 //!
 //! 1. `magic` must be exactly `syndog-checkpoint` ([`CheckpointError::BadMagic`]),
-//! 2. `version` must be a version this build understands — currently only
-//!    [`CHECKPOINT_VERSION`] ([`CheckpointError::UnsupportedVersion`]);
-//!    any payload-schema change bumps the version,
+//! 2. `version` must be one this build understands —
+//!    [`MIN_CHECKPOINT_VERSION`] through [`CHECKPOINT_VERSION`]
+//!    ([`CheckpointError::UnsupportedVersion`]); any payload-schema change
+//!    bumps the version,
 //! 3. `crc32` must match the payload bytes ([`CheckpointError::CrcMismatch`]) —
 //!    a truncated or hand-edited file fails closed rather than restoring
 //!    half a detector.
@@ -43,7 +44,7 @@
 //! rest of the trace → detections identical to an uninterrupted run) is
 //! exercised in `tests/faults.rs`.
 
-use syndog::{Detection, SynDogDetector};
+use syndog::{AnyDetector, Detection};
 use syndog_net::{Ipv4Net, SegmentKind};
 use syndog_sim::{SimDuration, SimTime};
 use syndog_traffic::trace::Direction;
@@ -55,12 +56,19 @@ use crate::mitigate::{MitigationEngine, MitigationState};
 use crate::router::LeafRouter;
 use crate::sniffer::Sniffer;
 
-/// The checkpoint payload schema version this build reads and writes.
+/// The checkpoint payload schema version this build writes.
 ///
 /// Version history: 1 — detector/router/sniffer state only; 2 — adds the
 /// optional `mitigation` payload field (throttle buckets, hysteresis
-/// gate, locator tallies, decision counters).
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// gate, locator tallies, decision counters); 3 — the detector becomes a
+/// strategy-tagged [`AnyDetector`] union and sniffers carry pending
+/// `fin`/`rst` counts.
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// The oldest payload schema version this build still reads. Version-2
+/// files restore losslessly: a bare detector map is taken as the paper
+/// strategy, and absent `fin`/`rst` counts as zero.
+pub const MIN_CHECKPOINT_VERSION: u32 = 2;
 
 /// The envelope magic string.
 const MAGIC: &str = "syndog-checkpoint";
@@ -108,7 +116,8 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::UnsupportedVersion(version) => write!(
                 f,
-                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+                "unsupported checkpoint version {version} (this build reads \
+                 {MIN_CHECKPOINT_VERSION} through {CHECKPOINT_VERSION})"
             ),
             CheckpointError::CrcMismatch { expected, actual } => write!(
                 f,
@@ -122,12 +131,16 @@ impl std::fmt::Display for CheckpointError {
 impl std::error::Error for CheckpointError {}
 
 /// One sniffer's counters, captured for restore.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SnifferState {
     /// Pending SYN count (since the last period close).
     pub syn: u64,
     /// Pending SYN/ACK count.
     pub synack: u64,
+    /// Pending FIN count.
+    pub fin: u64,
+    /// Pending RST count.
+    pub rst: u64,
     /// Lifetime frames seen.
     pub frames_seen: u64,
     /// Lifetime malformed frames.
@@ -138,12 +151,36 @@ pub struct SnifferState {
     pub kinds: Vec<u64>,
 }
 
+// Hand-written so version-2 payloads (no `fin`/`rst` fields) still parse:
+// absent close-side counts restore as zero, which is exactly what a
+// version-2 sniffer had accumulated.
+impl Deserialize for SnifferState {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::MapAccess::new(value, "SnifferState")?;
+        let pending_or_zero = |name: &str| match map.field(name) {
+            Ok(v) => Deserialize::from_value(v),
+            Err(_) => Ok(0),
+        };
+        Ok(SnifferState {
+            syn: Deserialize::from_value(map.field("syn")?)?,
+            synack: Deserialize::from_value(map.field("synack")?)?,
+            fin: pending_or_zero("fin")?,
+            rst: pending_or_zero("rst")?,
+            frames_seen: Deserialize::from_value(map.field("frames_seen")?)?,
+            malformed: Deserialize::from_value(map.field("malformed")?)?,
+            kinds: Deserialize::from_value(map.field("kinds")?)?,
+        })
+    }
+}
+
 impl SnifferState {
     /// Captures a sniffer's counters.
     pub fn capture(sniffer: &Sniffer) -> Self {
         SnifferState {
             syn: sniffer.syn_count(),
             synack: sniffer.synack_count(),
+            fin: sniffer.fin_count(),
+            rst: sniffer.rst_count(),
             frames_seen: sniffer.frames_seen(),
             malformed: sniffer.malformed(),
             kinds: SegmentKind::ALL
@@ -165,6 +202,8 @@ impl SnifferState {
         sniffer.restore_counts(
             self.syn,
             self.synack,
+            self.fin,
+            self.rst,
             self.frames_seen,
             self.malformed,
             kinds,
@@ -220,8 +259,11 @@ pub struct Checkpoint {
     pub outbound: SnifferState,
     /// The inbound sniffer's counters.
     pub inbound: SnifferState,
-    /// The detector: config, learned `K̄`, CUSUM statistic, period count.
-    pub detector: SynDogDetector,
+    /// The detector: strategy tag, config, learned baseline, decision
+    /// statistic, period count. Serialized externally tagged
+    /// (`{"syndog": {...}}`); version-2 payloads carried the paper
+    /// detector bare, which [`AnyDetector`]'s deserializer still accepts.
+    pub detector: AnyDetector,
     /// The per-period detection series recorded so far.
     pub detections: Vec<Detection>,
     /// The alarms raised so far.
@@ -247,7 +289,7 @@ impl Checkpoint {
     pub fn capture(
         router: &LeafRouter,
         period_base: u64,
-        detector: &SynDogDetector,
+        detector: &AnyDetector,
         detections: &[Detection],
         alarms: &[Alarm],
         mitigation: Option<&MitigationEngine>,
@@ -334,7 +376,7 @@ impl Checkpoint {
         if envelope.magic != MAGIC {
             return Err(CheckpointError::BadMagic(envelope.magic));
         }
-        if envelope.version != CHECKPOINT_VERSION {
+        if !(MIN_CHECKPOINT_VERSION..=CHECKPOINT_VERSION).contains(&envelope.version) {
             return Err(CheckpointError::UnsupportedVersion(envelope.version));
         }
         let actual = crc32(envelope.payload.as_bytes());
@@ -355,11 +397,13 @@ mod tests {
     use syndog::SynDogConfig;
 
     fn sample_checkpoint() -> Checkpoint {
-        let mut detector = SynDogDetector::new(SynDogConfig::paper_default());
+        let mut detector = syndog::DetectorKind::Syndog.build(SynDogConfig::paper_default());
         for _ in 0..5 {
-            detector.observe(syndog::PeriodCounts {
+            detector.observe(syndog::PeriodSignals {
                 syn: 100,
                 synack: 98,
+                fin: 90,
+                rst: 4,
             });
         }
         let mut router =
@@ -459,6 +503,87 @@ mod tests {
             Checkpoint::from_json("{"),
             Err(CheckpointError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn version_1_files_are_rejected() {
+        let payload = serde_json::to_string(&sample_checkpoint()).unwrap();
+        let crc = crc32(payload.as_bytes());
+        let ancient = serde_json::to_string(&Envelope {
+            magic: MAGIC.to_string(),
+            version: 1,
+            crc32: crc,
+            payload,
+        })
+        .unwrap();
+        assert_eq!(
+            Checkpoint::from_json(&ancient),
+            Err(CheckpointError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
+    fn version_2_checkpoint_restores_with_the_default_detector() {
+        // A frozen version-2 payload, exactly as the previous release
+        // wrote it: bare (untagged) SynDogDetector, sniffers without
+        // pending fin/rst counts. It must restore losslessly: the paper
+        // strategy, zero pending closes.
+        let payload = concat!(
+            r#"{"stub":"10.1.0.0/16","period_micros":20000000,"current_period":5,"#,
+            r#""period_base":0,"#,
+            r#""outbound":{"syn":2,"synack":0,"frames_seen":12,"malformed":1,"#,
+            r#""kinds":[2,0,1,1,3,4,0]},"#,
+            r#""inbound":{"syn":0,"synack":3,"frames_seen":7,"malformed":0,"#,
+            r#""kinds":[0,3,1,0,2,1,0]},"#,
+            r#""detector":{"config":{"observation_period_secs":20.0,"alpha":0.9,"#,
+            r#""offset":0.35,"min_attack_mean":0.7,"threshold":1.05},"#,
+            r#""estimator":{"alpha":0.9,"average":98.5},"#,
+            r#""cusum":{"a":0.35,"threshold":1.05,"y":0.25,"n":5,"first_alarm":null}},"#,
+            r#""detections":[],"alarms":[],"mitigation":null}"#
+        );
+        let envelope = serde_json::to_string(&Envelope {
+            magic: MAGIC.to_string(),
+            version: 2,
+            crc32: crc32(payload.as_bytes()),
+            payload: payload.to_string(),
+        })
+        .unwrap();
+        let checkpoint = Checkpoint::from_json(&envelope).unwrap();
+        assert!(matches!(checkpoint.detector, AnyDetector::Syndog(_)));
+        assert_eq!(checkpoint.detector.kind(), syndog::DetectorKind::Syndog);
+        assert_eq!(checkpoint.detector.periods_observed(), 5);
+        assert_eq!(checkpoint.detector.k_average(), Some(98.5));
+        assert_eq!(checkpoint.outbound.fin, 0);
+        assert_eq!(checkpoint.outbound.rst, 0);
+        let router = checkpoint.restore_router().unwrap();
+        assert_eq!(router.current_period(), 5);
+        assert_eq!(router.sniffer(Direction::Outbound).syn_count(), 2);
+        assert_eq!(router.sniffer(Direction::Outbound).fin_count(), 0);
+        // Re-saving writes the current version; the state survives the
+        // upgrade round-trip.
+        let resaved = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(resaved, checkpoint);
+    }
+
+    #[test]
+    fn every_strategy_round_trips_through_the_envelope() {
+        for kind in syndog::DetectorKind::ALL {
+            let mut detector = kind.build(SynDogConfig::paper_default());
+            for _ in 0..7 {
+                detector.observe(syndog::PeriodSignals {
+                    syn: 900,
+                    synack: 850,
+                    fin: 820,
+                    rst: 40,
+                });
+            }
+            let router =
+                LeafRouter::new("10.1.0.0/16".parse().unwrap(), SimDuration::from_secs(20));
+            let checkpoint = Checkpoint::capture(&router, 0, &detector, &[], &[], None);
+            let parsed = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+            assert_eq!(parsed.detector, detector, "{kind} state must round-trip");
+            assert_eq!(parsed.detector.kind(), kind);
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use syndog::{Detection, PeriodCounts, SynDogConfig, SynDogDetector};
+use syndog::{AnyDetector, Detection, DetectorKind, SynDogConfig};
 use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
 use syndog_net::classify::SegmentKind;
 use syndog_net::Ipv4Net;
@@ -189,7 +189,7 @@ pub struct ConcurrentSynDog {
     outbound: SnifferThread,
     inbound: SnifferThread,
     policy: OverflowPolicy,
-    detector: SynDogDetector,
+    detector: AnyDetector,
     detections: Vec<Detection>,
     agent_telemetry: Option<AgentTelemetry>,
     channel_telemetry: Option<ConcurrentTelemetry>,
@@ -227,7 +227,28 @@ impl ConcurrentSynDog {
         channel_capacity: usize,
         policy: OverflowPolicy,
     ) -> Self {
-        Self::build(config, channel_capacity, policy, None)
+        Self::build(
+            DetectorKind::Syndog.build(config),
+            channel_capacity,
+            policy,
+            None,
+        )
+    }
+
+    /// Starts both sniffer threads coordinating an explicit detection
+    /// strategy (see [`DetectorKind::build`]); the other constructors all
+    /// default to the paper's [`DetectorKind::Syndog`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_capacity` is zero.
+    pub fn with_detector(
+        detector: AnyDetector,
+        channel_capacity: usize,
+        policy: OverflowPolicy,
+        hub: Option<Arc<Telemetry>>,
+    ) -> Self {
+        Self::build(detector, channel_capacity, policy, hub)
     }
 
     /// Starts both sniffer threads reporting into a telemetry hub: the
@@ -244,11 +265,16 @@ impl ConcurrentSynDog {
         policy: OverflowPolicy,
         hub: Arc<Telemetry>,
     ) -> Self {
-        Self::build(config, channel_capacity, policy, Some(hub))
+        Self::build(
+            DetectorKind::Syndog.build(config),
+            channel_capacity,
+            policy,
+            Some(hub),
+        )
     }
 
     fn build(
-        config: SynDogConfig,
+        detector: AnyDetector,
         channel_capacity: usize,
         policy: OverflowPolicy,
         hub: Option<Arc<Telemetry>>,
@@ -259,7 +285,7 @@ impl ConcurrentSynDog {
         // is external (`close_period`), so the router is purely the shared
         // counter-exchange path.
         let stub: Ipv4Net = "0.0.0.0/0".parse().expect("static prefix parses");
-        let period = SimDuration::from_secs_f64(config.observation_period_secs);
+        let period = SimDuration::from_secs_f64(detector.config().observation_period_secs);
         let channel_telemetry = hub.as_deref().map(ConcurrentTelemetry::new);
         let depth = |direction: Direction| {
             channel_telemetry
@@ -286,7 +312,7 @@ impl ConcurrentSynDog {
                 restarts(Direction::Inbound),
             ),
             policy,
-            detector: SynDogDetector::new(config),
+            detector,
             detections: Vec::new(),
             agent_telemetry: hub.map(AgentTelemetry::new),
             channel_telemetry,
@@ -436,10 +462,7 @@ impl ConcurrentSynDog {
         self.router
             .observe_counts(Direction::Inbound, &self.inbound.counters.drain());
         let sample = self.router.take_period_sample();
-        let detection = self.detector.observe(PeriodCounts {
-            syn: sample.syn,
-            synack: sample.synack,
-        });
+        let detection = self.detector.observe(sample);
         self.detections.push(detection);
         if let Some(engine) = &mut self.mitigation {
             engine.on_detection(&detection, detection.period);
@@ -470,6 +493,11 @@ impl ConcurrentSynDog {
     /// All per-period detections so far.
     pub fn detections(&self) -> &[Detection] {
         &self.detections
+    }
+
+    /// The coordinator's detection strategy.
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
     }
 
     /// The coordinator-side router (lifetime frame / malformed tallies live
@@ -534,9 +562,8 @@ impl ConcurrentSynDog {
         hub: Option<Arc<Telemetry>>,
     ) -> Result<Self, CheckpointError> {
         let router = checkpoint.restore_router()?;
-        let mut dog = Self::build(*checkpoint.detector.config(), channel_capacity, policy, hub);
+        let mut dog = Self::build(checkpoint.detector.clone(), channel_capacity, policy, hub);
         dog.router = router;
-        dog.detector = checkpoint.detector.clone();
         dog.detections = checkpoint.detections.clone();
         dog.mitigation = checkpoint.restore_mitigation()?;
         if let (Some(engine), Some(agent_telemetry)) = (&dog.mitigation, &dog.agent_telemetry) {
@@ -688,6 +715,32 @@ mod tests {
         }
         assert!(alarmed, "cross-thread flood must alarm");
         dog.shutdown();
+    }
+
+    #[test]
+    fn alternate_strategy_coordinates_and_survives_resume() {
+        // The coordinator is strategy-agnostic: a SYN-count CUSUM (no
+        // reverse-path term) runs through the same channel/atomics path
+        // and its learned state survives a checkpoint round-trip.
+        let detector = DetectorKind::SynCusum.build(SynDogConfig::paper_default());
+        let mut dog = ConcurrentSynDog::with_detector(detector, 64, OverflowPolicy::Block, None);
+        for period in 0..3u32 {
+            dog.submit_batch(
+                Direction::Outbound,
+                batch_of((0..100).map(|i| syn_frame(period * 100 + i))),
+            );
+            dog.flush();
+            dog.close_period();
+        }
+        let before = dog.detector().clone();
+        let json = dog.checkpoint().to_json();
+        dog.shutdown();
+        let checkpoint = Checkpoint::from_json(&json).unwrap();
+        let resumed = ConcurrentSynDog::resume(&checkpoint, 64, OverflowPolicy::Block, None)
+            .expect("syn-cusum checkpoint resumes");
+        assert_eq!(resumed.detector().kind(), DetectorKind::SynCusum);
+        assert_eq!(*resumed.detector(), before);
+        resumed.shutdown();
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::sync::Arc;
 
-use syndog::{Detection, SynDogConfig};
+use syndog::{Detection, DetectorKind, PeriodSignals, SynDogConfig};
 use syndog_attack::{DdosCampaign, SynFlood};
 use syndog_net::{Ipv4Net, MacAddr, SegmentKind};
 use syndog_sim::par::{run_indexed, Parallelism};
@@ -106,6 +106,9 @@ pub struct Scenario {
     pub stubs: Vec<StubSpec>,
     /// Detector configuration shared by every agent.
     pub config: SynDogConfig,
+    /// Detection strategy every agent runs (see [`DetectorKind`]);
+    /// defaults to the paper's [`DetectorKind::Syndog`].
+    pub detector: DetectorKind,
     /// Optional fault injection applied to every stub's record stream
     /// (each stub gets its own derived fault seed).
     pub faults: Option<FaultSpec>,
@@ -125,6 +128,7 @@ impl Scenario {
             name: name.into(),
             stubs: Vec::new(),
             config,
+            detector: DetectorKind::Syndog,
             faults: None,
             mitigation: None,
             master_seed,
@@ -218,6 +222,15 @@ impl Scenario {
             scenario.stubs[stub_index].attack = Some(campaign.slave(slave));
         }
         scenario
+    }
+
+    /// Returns the scenario with every agent running `detector` instead of
+    /// the default paper strategy. The report shape is identical; only the
+    /// per-period decision rule changes.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
     }
 
     /// Returns the scenario with fault injection enabled (each stub gets
@@ -347,7 +360,8 @@ impl Fleet {
     }
 
     fn new_agent(&self, spec: &StubSpec) -> SynDogAgent {
-        let mut agent = SynDogAgent::new(spec.stub(), self.scenario.config);
+        let detector = self.scenario.detector.build(self.scenario.config);
+        let mut agent = SynDogAgent::with_detector(spec.stub(), detector);
         if let Some(hub) = &self.telemetry {
             agent.set_stub_telemetry(Arc::clone(hub));
         }
@@ -451,7 +465,15 @@ impl Fleet {
         let detections = counts
             .into_iter()
             .map(|sample| {
-                let detection = agent.observe_period(sample);
+                // Count-level runs carry only the handshake pair; the
+                // FIN/RST terms are zero (the fin-pair strategy needs the
+                // trace-level record path for those).
+                let detection = agent.observe_period(PeriodSignals {
+                    syn: sample.syn,
+                    synack: sample.synack,
+                    fin: 0,
+                    rst: 0,
+                });
                 // Count-level shedding: no per-record attribution exists
                 // here, so while engaged the engine cuts the aggregate
                 // SYN excess over `K̄ + allowance`.
@@ -942,6 +964,34 @@ mod tests {
             by_hand.iter().any(|d| d.alarm),
             "implication mirrors the detector"
         );
+    }
+
+    #[test]
+    fn every_detector_kind_reports_identically_for_any_worker_count() {
+        // The acceptance bar for strategy plumbing: for each strategy the
+        // fleet report — and hence its rendered text — is a pure function
+        // of the scenario, independent of parallelism.
+        let mk = |kind: DetectorKind| {
+            Scenario::uniform(
+                "det",
+                &SiteProfile::lbl(),
+                3,
+                SynDogConfig::paper_default(),
+                11,
+            )
+            .with_detector(kind)
+        };
+        for kind in DetectorKind::ALL {
+            let serial = Fleet::new(mk(kind))
+                .with_parallelism(Parallelism::Fixed(1))
+                .run_counts();
+            let parallel = Fleet::new(mk(kind))
+                .with_parallelism(Parallelism::Fixed(3))
+                .run_counts();
+            assert_eq!(serial, parallel, "{kind} must not depend on workers");
+            assert_eq!(serial.render(), parallel.render());
+            assert_eq!(serial.to_csv(), parallel.to_csv());
+        }
     }
 
     #[test]

@@ -15,11 +15,12 @@
 //!
 //! Period boundaries are handled exactly: a record at `t` lands in period
 //! `⌊t / t0⌋`, and [`LeafRouter::advance_to`] closes every period that
-//! ends at or before the new time, emitting one [`PeriodSample`] each.
+//! ends at or before the new time, emitting one [`PeriodSignals`] each.
 
+use syndog::PeriodSignals;
 use syndog_net::Ipv4Net;
 use syndog_sim::{SimDuration, SimTime};
-use syndog_traffic::trace::{Direction, PeriodSample, Trace, TraceRecord};
+use syndog_traffic::trace::{Direction, Trace, TraceRecord};
 
 use crate::sniffer::Sniffer;
 use crate::source::{EventBatch, FrameEvent, FrameSource, TraceSource};
@@ -92,22 +93,25 @@ impl LeafRouter {
     /// Advances the router clock to `now`, closing every period that ends
     /// at or before it and pushing one sample per closed period into
     /// `out` (empty periods included — silence is data).
-    pub fn advance_to(&mut self, now: SimTime, out: &mut Vec<PeriodSample>) {
+    pub fn advance_to(&mut self, now: SimTime, out: &mut Vec<PeriodSignals>) {
         let target = now.period_index(self.period);
         while self.current_period < target {
             out.push(self.take_period_sample());
         }
     }
 
-    /// Closes the current period unconditionally and returns its sample:
-    /// outbound SYNs paired with inbound SYN/ACKs, per §3.1.
-    pub fn take_period_sample(&mut self) -> PeriodSample {
+    /// Closes the current period unconditionally and returns its signals:
+    /// outbound SYNs paired with inbound SYN/ACKs per §3.1, plus the
+    /// outbound FIN/RST closes the SYN–FIN strategy pairs against.
+    pub fn take_period_sample(&mut self) -> PeriodSignals {
         let out_counts = self.outbound.take_counts();
         let in_counts = self.inbound.take_counts();
         self.current_period += 1;
-        PeriodSample {
+        PeriodSignals {
             syn: out_counts.syn,
             synack: in_counts.synack,
+            fin: out_counts.fin,
+            rst: out_counts.rst,
         }
     }
 
@@ -174,7 +178,7 @@ impl LeafRouter {
     pub fn ingest<S: FrameSource>(
         &mut self,
         mut source: S,
-        samples: &mut Vec<PeriodSample>,
+        samples: &mut Vec<PeriodSignals>,
     ) -> Result<(), syndog_net::NetError> {
         let base = self.current_period;
         let last = source
@@ -204,7 +208,7 @@ impl LeafRouter {
 
     /// Runs a whole trace through the router, returning one sample per
     /// observation period covering the trace's full duration.
-    pub fn run_trace(&mut self, trace: &Trace) -> Vec<PeriodSample> {
+    pub fn run_trace(&mut self, trace: &Trace) -> Vec<PeriodSignals> {
         let mut samples = Vec::new();
         self.ingest(TraceSource::new(trace), &mut samples)
             .expect("trace sources perform no I/O and cannot fail");
@@ -231,6 +235,15 @@ mod tests {
         )
     }
 
+    fn sig(syn: u64, synack: u64) -> PeriodSignals {
+        PeriodSignals {
+            syn,
+            synack,
+            fin: 0,
+            rst: 0,
+        }
+    }
+
     #[test]
     fn run_trace_bins_per_period() {
         let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
@@ -246,9 +259,9 @@ mod tests {
         );
         let samples = router.run_trace(&trace);
         assert_eq!(samples.len(), 3);
-        assert_eq!(samples[0], PeriodSample { syn: 1, synack: 1 });
-        assert_eq!(samples[1], PeriodSample { syn: 2, synack: 0 });
-        assert_eq!(samples[2], PeriodSample { syn: 0, synack: 1 });
+        assert_eq!(samples[0], sig(1, 1));
+        assert_eq!(samples[1], sig(2, 0));
+        assert_eq!(samples[2], sig(0, 1));
     }
 
     #[test]
@@ -261,7 +274,14 @@ mod tests {
         let mut router = LeafRouter::new(site.stub(), OBSERVATION_PERIOD);
         let by_router = router.run_trace(&trace);
         let by_trace = trace.period_counts(OBSERVATION_PERIOD);
-        assert_eq!(by_router, by_trace);
+        let handshake_only: Vec<_> = by_router
+            .iter()
+            .map(|s| syndog_traffic::trace::PeriodSample {
+                syn: s.syn,
+                synack: s.synack,
+            })
+            .collect();
+        assert_eq!(handshake_only, by_trace);
     }
 
     #[test]
@@ -277,7 +297,7 @@ mod tests {
             SimDuration::from_secs(20),
         );
         let samples = router.run_trace(&trace);
-        assert_eq!(samples, vec![PeriodSample { syn: 0, synack: 0 }]);
+        assert_eq!(samples, vec![PeriodSignals::default()]);
     }
 
     #[test]
@@ -289,7 +309,7 @@ mod tests {
         );
         let samples = router.run_trace(&trace);
         assert_eq!(samples.len(), 5);
-        assert!(samples[..4].iter().all(|s| *s == PeriodSample::default()));
+        assert!(samples[..4].iter().all(|s| *s == PeriodSignals::default()));
         assert_eq!(samples[4].syn, 1);
     }
 
@@ -323,10 +343,7 @@ mod tests {
         .unwrap();
         router.observe_frame(Direction::Outbound, &syn);
         router.observe_frame(Direction::Inbound, &synack);
-        assert_eq!(
-            router.take_period_sample(),
-            PeriodSample { syn: 1, synack: 1 }
-        );
+        assert_eq!(router.take_period_sample(), sig(1, 1));
         assert_eq!(router.current_period(), 1);
     }
 

@@ -8,17 +8,24 @@
 //! constant no matter how hard it is flooded — the property that makes
 //! SYN-dog itself immune to the attacks it detects.
 
+use syndog::PeriodSignals;
 use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
 use syndog_net::classify::{classify, SegmentKind};
 use syndog_net::NetError;
-use syndog_traffic::trace::{Direction, PeriodSample};
+use syndog_traffic::trace::Direction;
 
-/// A stateless SYN / SYN-ACK counter for one router interface.
+/// A stateless SYN / SYN-ACK / FIN / RST counter for one router interface.
+///
+/// The two close-side counters (`fin`, `rst`) exist so the SYN–FIN pairing
+/// strategy sees real per-period [`syndog::SynFinCounts`]; they cost two
+/// more words, so the constant-memory property is untouched.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sniffer {
     direction: Direction,
     syn: u64,
     synack: u64,
+    fin: u64,
+    rst: u64,
     frames_seen: u64,
     malformed: u64,
     /// Lifetime tally per [`SegmentKind`] — the telemetry subsystem reads
@@ -39,6 +46,8 @@ impl Sniffer {
             direction,
             syn: 0,
             synack: 0,
+            fin: 0,
+            rst: 0,
             frames_seen: 0,
             malformed: 0,
             kinds: [0; SegmentKind::ALL.len()],
@@ -92,6 +101,8 @@ impl Sniffer {
         match kind {
             SegmentKind::Syn => self.syn += 1,
             SegmentKind::SynAck => self.synack += 1,
+            SegmentKind::Fin => self.fin += 1,
+            SegmentKind::Rst => self.rst += 1,
             _ => {}
         }
     }
@@ -110,6 +121,8 @@ impl Sniffer {
     pub fn observe_counts(&mut self, counts: &ClassCounts) {
         self.syn += counts.syn();
         self.synack += counts.synack();
+        self.fin += counts.get(SegmentKind::Fin);
+        self.rst += counts.get(SegmentKind::Rst);
         self.frames_seen += counts.total();
         self.malformed += counts.malformed();
         for (kind, count) in counts.iter() {
@@ -133,6 +146,16 @@ impl Sniffer {
         self.synack
     }
 
+    /// Current FIN count since the last [`Sniffer::take_counts`].
+    pub fn fin_count(&self) -> u64 {
+        self.fin
+    }
+
+    /// Current RST count since the last [`Sniffer::take_counts`].
+    pub fn rst_count(&self) -> u64 {
+        self.rst
+    }
+
     /// Total frames observed (lifetime, not reset by `take_counts`).
     pub fn frames_seen(&self) -> u64 {
         self.frames_seen
@@ -150,19 +173,24 @@ impl Sniffer {
     }
 
     /// Overwrites every counter from a captured checkpoint — the restore
-    /// half of [`crate::checkpoint`]. `syn`/`synack` are the *pending*
-    /// (since last [`Sniffer::take_counts`]) counts; the rest are
-    /// lifetime tallies.
+    /// half of [`crate::checkpoint`]. `syn`/`synack`/`fin`/`rst` are the
+    /// *pending* (since last [`Sniffer::take_counts`]) counts; the rest
+    /// are lifetime tallies.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn restore_counts(
         &mut self,
         syn: u64,
         synack: u64,
+        fin: u64,
+        rst: u64,
         frames_seen: u64,
         malformed: u64,
         kinds: [u64; SegmentKind::ALL.len()],
     ) {
         self.syn = syn;
         self.synack = synack;
+        self.fin = fin;
+        self.rst = rst;
         self.frames_seen = frames_seen;
         self.malformed = malformed;
         self.kinds = kinds;
@@ -170,13 +198,17 @@ impl Sniffer {
 
     /// Returns the period's counts and resets them — the "periodically
     /// exchange the counting information" step.
-    pub fn take_counts(&mut self) -> PeriodSample {
-        let sample = PeriodSample {
+    pub fn take_counts(&mut self) -> PeriodSignals {
+        let sample = PeriodSignals {
             syn: self.syn,
             synack: self.synack,
+            fin: self.fin,
+            rst: self.rst,
         };
         self.syn = 0;
         self.synack = 0;
+        self.fin = 0;
+        self.rst = 0;
         sample
     }
 }
@@ -214,6 +246,8 @@ mod tests {
         assert_eq!(sniffer.kind_count(SegmentKind::Ack), 1);
         assert_eq!(sniffer.kind_count(SegmentKind::Rst), 1);
         assert_eq!(sniffer.kind_count(SegmentKind::Fin), 1);
+        assert_eq!(sniffer.fin_count(), 1);
+        assert_eq!(sniffer.rst_count(), 1);
         let lifetime: u64 = SegmentKind::ALL
             .iter()
             .map(|&k| sniffer.kind_count(k))
@@ -227,10 +261,22 @@ mod tests {
         for _ in 0..3 {
             sniffer.observe_frame(&frame(TcpFlags::SYN));
         }
+        sniffer.observe_frame(&frame(TcpFlags::FIN | TcpFlags::ACK));
+        sniffer.observe_frame(&frame(TcpFlags::RST));
         let sample = sniffer.take_counts();
-        assert_eq!(sample, PeriodSample { syn: 3, synack: 0 });
+        assert_eq!(
+            sample,
+            PeriodSignals {
+                syn: 3,
+                synack: 0,
+                fin: 1,
+                rst: 1
+            }
+        );
         assert_eq!(sniffer.syn_count(), 0);
-        assert_eq!(sniffer.frames_seen(), 3, "lifetime counter survives");
+        assert_eq!(sniffer.fin_count(), 0);
+        assert_eq!(sniffer.rst_count(), 0);
+        assert_eq!(sniffer.frames_seen(), 5, "lifetime counter survives");
         sniffer.observe_frame(&frame(TcpFlags::SYN));
         assert_eq!(sniffer.take_counts().syn, 1);
     }

@@ -41,18 +41,19 @@
 //! | `syndog_mitigation_collateral_syns_total` | counter | |
 //!
 //! Fleet deployments register the per-agent and per-interface series via
-//! [`AgentTelemetry::with_labels`] with an extra `stub="<cidr>"` label, so
-//! one hub can carry every stub's agent without collisions.
+//! [`AgentTelemetry::with_labels`] with extra `stub="<cidr>"` and
+//! `detector="<name>"` labels, so one hub can carry every stub's agent —
+//! even several strategies watching the same stub — without collisions.
 //!
 //! [`SynDogAgent::observe_period`]: crate::agent::SynDogAgent::observe_period
 //! [`ConcurrentSynDog`]: crate::concurrent::ConcurrentSynDog
 
 use std::sync::Arc;
 
-use syndog::Detection;
+use syndog::{Detection, PeriodSignals};
 use syndog_net::SegmentKind;
 use syndog_telemetry::{Counter, FieldValue, Gauge, Histogram, Telemetry};
-use syndog_traffic::trace::{Direction, PeriodSample};
+use syndog_traffic::trace::Direction;
 
 use crate::faults::FaultLedger;
 use crate::mitigate::{MitigationEngine, MitigationStats};
@@ -191,7 +192,7 @@ impl AgentTelemetry {
     /// `period_end_secs` stamps the emitted events (simulated seconds).
     pub fn record_period(
         &mut self,
-        sample: PeriodSample,
+        sample: PeriodSignals,
         detection: &Detection,
         period_end_secs: f64,
         close_micros: u64,
@@ -454,6 +455,15 @@ impl MitigationTelemetry {
 mod tests {
     use super::*;
 
+    fn sig(syn: u64, synack: u64) -> PeriodSignals {
+        PeriodSignals {
+            syn,
+            synack,
+            fin: 0,
+            rst: 0,
+        }
+    }
+
     #[test]
     fn record_period_tracks_alarm_transitions() {
         let hub = Arc::new(Telemetry::new());
@@ -472,21 +482,11 @@ mod tests {
             period: 1,
             ..quiet
         };
-        agent.record_period(PeriodSample { syn: 5, synack: 5 }, &quiet, 20.0, 10);
-        agent.record_period(PeriodSample { syn: 50, synack: 5 }, &loud, 40.0, 10);
+        agent.record_period(sig(5, 5), &quiet, 20.0, 10);
+        agent.record_period(sig(50, 5), &loud, 40.0, 10);
         // Still alarming: no second alarm_raised event or counter bump.
-        agent.record_period(
-            PeriodSample { syn: 50, synack: 5 },
-            &Detection { period: 2, ..loud },
-            60.0,
-            10,
-        );
-        agent.record_period(
-            PeriodSample { syn: 5, synack: 5 },
-            &Detection { period: 3, ..quiet },
-            80.0,
-            10,
-        );
+        agent.record_period(sig(50, 5), &Detection { period: 2, ..loud }, 60.0, 10);
+        agent.record_period(sig(5, 5), &Detection { period: 3, ..quiet }, 80.0, 10);
         let snap = hub.snapshot();
         assert_eq!(snap.counter_total("syndog_periods_total"), 4);
         assert_eq!(snap.counter_total("syndog_syn_total"), 110);
@@ -554,9 +554,9 @@ mod tests {
             period: 1,
             ..quiet
         };
-        lbl.record_period(PeriodSample { syn: 5, synack: 5 }, &quiet, 20.0, 10);
-        lbl.record_period(PeriodSample { syn: 50, synack: 5 }, &loud, 40.0, 10);
-        auck.record_period(PeriodSample { syn: 7, synack: 7 }, &quiet, 20.0, 10);
+        lbl.record_period(sig(5, 5), &quiet, 20.0, 10);
+        lbl.record_period(sig(50, 5), &loud, 40.0, 10);
+        auck.record_period(sig(7, 7), &quiet, 20.0, 10);
         let snap = hub.snapshot();
         assert_eq!(
             snap.counter("syndog_alarms_total", &[("stub", "128.3.0.0/16")]),
@@ -590,6 +590,65 @@ mod tests {
         assert!(
             prom.contains(r#"syndog_periods_total{stub="130.216.0.0/16"} 1"#),
             "periods must stay per-stub:\n{prom}"
+        );
+    }
+
+    #[test]
+    fn detector_labeled_agents_do_not_collide_in_prometheus_export() {
+        // Two strategies watching the same stub on one hub: the
+        // detector="<name>" label must keep their series apart, mirroring
+        // the stub="<cidr>" discipline above.
+        let hub = Arc::new(Telemetry::new());
+        let mut syndog = AgentTelemetry::with_labels(
+            Arc::clone(&hub),
+            &[("stub", "128.3.0.0/16"), ("detector", "syndog")],
+        );
+        let mut ewma = AgentTelemetry::with_labels(
+            Arc::clone(&hub),
+            &[("stub", "128.3.0.0/16"), ("detector", "ewma")],
+        );
+        let quiet = Detection {
+            period: 0,
+            delta: 0.0,
+            k_average: 1.0,
+            x: 0.0,
+            statistic: 0.0,
+            alarm: false,
+        };
+        let loud = Detection {
+            statistic: 2.0,
+            alarm: true,
+            period: 1,
+            ..quiet
+        };
+        syndog.record_period(sig(5, 5), &quiet, 20.0, 10);
+        syndog.record_period(sig(50, 5), &loud, 40.0, 10);
+        ewma.record_period(sig(5, 5), &quiet, 20.0, 10);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.counter(
+                "syndog_alarms_total",
+                &[("stub", "128.3.0.0/16"), ("detector", "syndog")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "syndog_alarms_total",
+                &[("stub", "128.3.0.0/16"), ("detector", "ewma")]
+            ),
+            Some(0)
+        );
+        let prom = syndog_telemetry::export::render_prometheus(&snap);
+        assert!(
+            prom.contains(r#"detector="syndog""#) && prom.contains(r#"detector="ewma""#),
+            "both detector label sets must export:\n{prom}"
+        );
+        assert!(
+            prom.contains(r#"syndog_periods_total{detector="syndog",stub="128.3.0.0/16"} 2"#)
+                || prom
+                    .contains(r#"syndog_periods_total{stub="128.3.0.0/16",detector="syndog"} 2"#),
+            "per-detector period counts must stay separate:\n{prom}"
         );
     }
 

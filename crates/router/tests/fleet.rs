@@ -254,19 +254,23 @@ fn fleet_telemetry_labels_metrics_per_stub() {
     assert!(report.stubs[1].implicated);
 
     let snap = hub.snapshot();
+    // Fleet agents carry both identity labels: the stub CIDR and the
+    // detection strategy they run (the scenario default here).
+    let attacked = [("detector", "syndog"), ("stub", attacked_stub.as_str())];
+    let clean = [("detector", "syndog"), ("stub", clean_stub.as_str())];
     let alarms_attacked = snap
-        .counter("syndog_alarms_total", &[("stub", attacked_stub.as_str())])
+        .counter("syndog_alarms_total", &attacked)
         .expect("attacked stub registered");
     assert!(
         alarms_attacked >= 1,
         "attacked stub raised {alarms_attacked}"
     );
     let alarms_clean = snap
-        .counter("syndog_alarms_total", &[("stub", clean_stub.as_str())])
+        .counter("syndog_alarms_total", &clean)
         .expect("clean stub registered");
     assert_eq!(alarms_clean, 0);
     let periods_clean = snap
-        .counter("syndog_periods_total", &[("stub", clean_stub.as_str())])
+        .counter("syndog_periods_total", &clean)
         .expect("clean stub counted periods");
     assert_eq!(periods_clean, report.stubs[0].periods);
 }

@@ -1,9 +1,9 @@
 //! Property-based tests for the router and agent.
 
 use proptest::prelude::*;
-use syndog::{PeriodCounts, SynDogConfig, SynDogDetector};
+use syndog::{DetectorKind, PeriodCounts, PeriodSignals, SynDogConfig, SynDogDetector};
 use syndog_net::SegmentKind;
-use syndog_router::{LeafRouter, SynDogAgent};
+use syndog_router::{Checkpoint, LeafRouter, SynDogAgent};
 use syndog_sim::{SimDuration, SimTime};
 use syndog_traffic::trace::{Direction, Trace, TraceRecord};
 
@@ -51,7 +51,27 @@ proptest! {
         let mut router = LeafRouter::new(stub(), SimDuration::from_secs(20));
         let by_router = router.run_trace(&trace);
         let by_trace = trace.period_counts(SimDuration::from_secs(20));
-        prop_assert_eq!(by_router, by_trace);
+        let handshake: Vec<(u64, u64)> = by_router.iter().map(|s| (s.syn, s.synack)).collect();
+        let expected: Vec<(u64, u64)> = by_trace.iter().map(|s| (s.syn, s.synack)).collect();
+        prop_assert_eq!(handshake, expected);
+        // The close-side signals come straight from the outbound sniffer:
+        // re-derive them from the raw events.
+        let mut fin = vec![0u64; by_router.len()];
+        let mut rst = vec![0u64; by_router.len()];
+        for &(t, d, k) in &events {
+            let p = (t / 20) as usize;
+            if d == Direction::Outbound && p < fin.len() {
+                match k {
+                    SegmentKind::Fin => fin[p] += 1,
+                    SegmentKind::Rst => rst[p] += 1,
+                    _ => {}
+                }
+            }
+        }
+        for (p, s) in by_router.iter().enumerate() {
+            prop_assert_eq!(s.fin, fin[p]);
+            prop_assert_eq!(s.rst, rst[p]);
+        }
     }
 
     /// Counting is linear: a merged trace yields the sum of each trace's
@@ -100,5 +120,38 @@ proptest! {
             let direct = detector.observe(PeriodCounts { syn: sample.syn, synack: sample.synack });
             prop_assert_eq!(&direct, agent_detection);
         }
+    }
+
+    /// Every detection strategy's learned state survives a checkpoint
+    /// round-trip exactly, cut at an arbitrary period of a quiet-then-flood
+    /// run — including cuts that land mid-attack, with the CUSUM climbing
+    /// or the alarm already latched.
+    #[test]
+    fn every_strategy_checkpoints_exactly_at_any_cut_point(
+        kind_index in 0usize..DetectorKind::ALL.len(),
+        cut in 1usize..30,
+        base in 100u64..2000,
+        extra in 0u64..8000,
+        attack_start in 2usize..25,
+    ) {
+        let kind = DetectorKind::ALL[kind_index];
+        let mut agent =
+            SynDogAgent::with_detector(stub(), kind.build(SynDogConfig::paper_default()));
+        for p in 0..cut {
+            let syn = if p >= attack_start { base + extra } else { base };
+            agent.observe_period(PeriodSignals {
+                syn,
+                synack: base - base / 20,
+                fin: base * 9 / 10,
+                rst: base / 20,
+            });
+        }
+        let json = agent.checkpoint().to_json();
+        let parsed = Checkpoint::from_json(&json).unwrap();
+        prop_assert_eq!(parsed.detector.kind(), kind);
+        prop_assert_eq!(&parsed.detector, agent.detector());
+        prop_assert_eq!(parsed.detections.len(), cut);
+        // Re-serializing the parsed checkpoint is byte-stable.
+        prop_assert_eq!(parsed.to_json(), json);
     }
 }

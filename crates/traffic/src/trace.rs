@@ -313,36 +313,6 @@ impl Trace {
         counts
     }
 
-    /// Aggregates outbound SYN / FIN / RST counts per period, the input of
-    /// the SYN–FIN pair detector (the companion mechanism; see
-    /// `syndog::fin_pair`). Returns `(syn, fin, rst)` triples.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `period` is zero.
-    pub fn period_syn_fin_counts(&self, period: SimDuration) -> Vec<(u64, u64, u64)> {
-        assert!(!period.is_zero(), "observation period must be non-zero");
-        let periods =
-            (self.duration.as_micros() + period.as_micros() - 1) / period.as_micros().max(1);
-        let mut counts = vec![(0u64, 0u64, 0u64); periods.max(1) as usize];
-        for record in &self.records {
-            if record.direction != Direction::Outbound {
-                continue;
-            }
-            let idx = record.time.period_index(period) as usize;
-            if idx >= counts.len() {
-                continue;
-            }
-            match record.kind {
-                SegmentKind::Syn => counts[idx].0 += 1,
-                SegmentKind::Fin => counts[idx].1 += 1,
-                SegmentKind::Rst => counts[idx].2 += 1,
-                _ => {}
-            }
-        }
-        counts
-    }
-
     /// Serializes to the compact binary trace format.
     ///
     /// # Errors
@@ -817,22 +787,6 @@ mod tests {
         assert_eq!(Direction::Inbound.reverse(), Direction::Outbound);
         assert_eq!(Direction::Outbound.reverse(), Direction::Inbound);
         assert_eq!(Direction::Inbound.to_string(), "inbound");
-    }
-
-    #[test]
-    fn syn_fin_counts_outbound_only() {
-        let t = Trace::from_records(
-            vec![
-                rec(1.0, Direction::Outbound, SegmentKind::Syn),
-                rec(2.0, Direction::Outbound, SegmentKind::Fin),
-                rec(3.0, Direction::Outbound, SegmentKind::Rst),
-                rec(4.0, Direction::Inbound, SegmentKind::Fin), // not counted
-                rec(25.0, Direction::Outbound, SegmentKind::Fin),
-            ],
-            SimDuration::from_secs(40),
-        );
-        let counts = t.period_syn_fin_counts(SimDuration::from_secs(20));
-        assert_eq!(counts, vec![(1, 1, 1), (0, 1, 0)]);
     }
 
     #[test]
