@@ -1967,6 +1967,169 @@ pub fn bakeoff(seed: u64) -> ExperimentOutput {
     }
 }
 
+/// The serve-daemon soak: ≥ 4 sim-hours of continuous operation with a
+/// mid-run flood, a kill → `--resume-latest` → continue cycle at a
+/// rotation boundary, and a detector hot-reload — the operational story
+/// the `syndog serve` subsystem exists to tell. Writes
+/// `results/soak.csv` (period, y_n, alarm, throttle count, state
+/// footprint) sampled along the run.
+pub fn soak(seed: u64) -> ExperimentOutput {
+    use syndog_serve::{PlanSupply, ServeConfig, ServeDaemon, ServeSpec, StubSpec};
+    use syndog_traffic::LoadPlan;
+
+    const TOTAL: u64 = 720; // 4 sim-hours of 20 s periods
+    const KILL_AT: u64 = 165; // mid-flood, on a rotation boundary
+    const RELOAD_AT: u64 = 400;
+    const INTERVAL: u64 = 15;
+    const KEEP: usize = 4;
+
+    let dir = std::env::temp_dir().join(format!("syndog-bench-soak-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create soak scratch dir");
+    let ck_dir = dir.join("ck");
+    let config_path = dir.join("serve.conf");
+
+    let stubs = |seed: u64| -> Vec<StubSpec> {
+        let attacked = SiteProfile::lbl().rehomed("128.1.0.0/16".parse().unwrap(), 1);
+        let clean = SiteProfile::lbl().rehomed("128.2.0.0/16".parse().unwrap(), 2);
+        let flood = LoadPlan::parse(
+            "phase quiet 3000s benign=1 attack=0\n\
+             phase flood 400s benign=1 attack=12\n\
+             phase calm 11000s benign=1 attack=0\n",
+        )
+        .expect("static plan")
+        .with_attack_target(victim());
+        let quiet = LoadPlan::steady_baseline();
+        vec![
+            StubSpec {
+                stub: attacked.stub(),
+                supply: Box::new(PlanSupply::new(flood, attacked, seed)),
+            },
+            StubSpec {
+                stub: clean.stub(),
+                supply: Box::new(PlanSupply::new(quiet, clean, seed ^ 0xc1ea)),
+            },
+        ]
+    };
+    let spec = || ServeSpec {
+        period: SimDuration::from_secs(20),
+        config: ServeConfig {
+            detector: DetectorKind::Syndog,
+            threshold: SynDogConfig::paper_default().threshold,
+            mitigation: true,
+        },
+        config_path: Some(config_path.clone()),
+        checkpoint_dir: Some(ck_dir.clone()),
+        checkpoint_interval: INTERVAL,
+        checkpoint_keep: KEEP,
+        history_keep: 64,
+    };
+
+    let mut csv = TextTable::new(&[
+        "period",
+        "y_n",
+        "alarm",
+        "throttles",
+        "footprint_bytes",
+        "resumed",
+    ]);
+    let mut sample = |daemon: &ServeDaemon| {
+        let snap = daemon.snapshot();
+        csv.row(vec![
+            daemon.next_window().to_string(),
+            format!("{:.4}", snap.stubs[0].y_n),
+            u8::from(snap.stubs[0].alarm).to_string(),
+            snap.stubs[0].throttle_keys.len().to_string(),
+            daemon.state_footprint().to_string(),
+            u8::from(snap.resumed).to_string(),
+        ]);
+    };
+
+    // Phase A: fresh daemon until the kill point (mid-flood).
+    let mut daemon = ServeDaemon::new(spec(), stubs(seed)).expect("open soak daemon");
+    for _ in 0..KILL_AT {
+        daemon.step_period();
+        if daemon.next_window().is_multiple_of(15) {
+            sample(&daemon);
+        }
+    }
+    let pre_kill = daemon.snapshot();
+    drop(daemon); // the "crash": no orderly shutdown
+
+    // Phase B: resume-latest, hot-reload mid-run, run out the 4 hours.
+    let mut daemon = ServeDaemon::resume_latest(spec(), stubs(seed)).expect("resume soak daemon");
+    let restored = daemon.snapshot();
+    daemon.run_for(RELOAD_AT - KILL_AT);
+    std::fs::write(
+        &config_path,
+        "detector = ewma\nthreshold = 2.5\nmitigation = on\n",
+    )
+    .expect("write hot-reload config");
+    while daemon.next_window() < TOTAL {
+        daemon.step_period();
+        if daemon.next_window().is_multiple_of(15) {
+            sample(&daemon);
+        }
+    }
+    let end = daemon.snapshot();
+    let generations = std::fs::read_dir(&ck_dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with("ck-"))
+                .count()
+        })
+        .unwrap_or(0);
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "{TOTAL} periods x 20 s = {:.1} sim-hours; flood 12 SYN/s over [3000, 3400) s; \
+         kill at period {KILL_AT} (rotation boundary), hot-reload at {RELOAD_AT}\n\n",
+        TOTAL as f64 * 20.0 / 3600.0
+    ));
+    body.push_str(&format!(
+        "pre-kill : alarm={} alarms_total={} throttles={} (mid-attack state on disk)\n",
+        pre_kill.stubs[0].alarm,
+        pre_kill.stubs[0].alarms_total,
+        pre_kill.stubs[0].throttle_keys.len(),
+    ));
+    body.push_str(&format!(
+        "restored : resumed={} at period {} with {} engaged throttle(s), y_n carried ({:.4})\n",
+        restored.resumed,
+        restored.stubs[0].periods_closed,
+        restored.stubs[0].throttle_keys.len(),
+        restored.stubs[0].y_n,
+    ));
+    body.push_str(&format!(
+        "hot-load : detector now `{}` at N={} (reloads={}, rejected edits={})\n",
+        end.stubs[0].detector, end.stubs[0].threshold, end.config_reloads, end.config_errors,
+    ));
+    body.push_str(&format!(
+        "end      : missed={} alarms_total={} alarm={} throttles={} footprint={} B\n",
+        end.missed_periods(),
+        end.stubs[0].alarms_total,
+        end.stubs[0].alarm,
+        end.stubs[0].throttle_keys.len(),
+        daemon.state_footprint(),
+    ));
+    body.push_str(&format!(
+        "retention: {generations} checkpoint files on disk = {KEEP} generations x 2 stubs\n",
+    ));
+    body.push_str(&format!(
+        "clean stub: alarms_total={} (no cross-stub bleed)\n",
+        end.stubs[1].alarms_total
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
+    let files = vec![write_result("soak.csv", &csv.to_csv())];
+    ExperimentOutput {
+        id: "soak",
+        title: "serve-daemon soak: 4 sim-hours with kill/resume and a hot-reload".into(),
+        body,
+        files,
+    }
+}
+
 /// Every experiment in paper order, then the ablations.
 pub fn all_experiments(seed: u64) -> Vec<ExperimentOutput> {
     vec![
@@ -1993,6 +2156,7 @@ pub fn all_experiments(seed: u64) -> Vec<ExperimentOutput> {
         ext_synfin(seed),
         ext_evasion(seed),
         bakeoff(seed),
+        soak(seed),
     ]
 }
 
@@ -2022,6 +2186,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<ExperimentOutput> {
         "ext-synfin" => ext_synfin(seed),
         "ext-evasion" => ext_evasion(seed),
         "bakeoff" => bakeoff(seed),
+        "soak" => soak(seed),
         _ => return None,
     };
     Some(out)
@@ -2052,6 +2217,7 @@ pub const EXPERIMENT_IDS: &[&str] = &[
     "ext-synfin",
     "ext-evasion",
     "bakeoff",
+    "soak",
 ];
 
 #[cfg(test)]

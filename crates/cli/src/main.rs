@@ -8,9 +8,22 @@
 //! syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
 //! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
+//! syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
+//!
+//! `serve` runs the long-lived daemon subsystem ([`syndog_serve`]): one
+//! agent per stub fed by a window-addressed supply (a scripted
+//! `--plan` over each `--sites` profile, or an `--in` capture replayed
+//! in an endless loop, optionally overlaid with a `--flood`), closing
+//! periods on sim-time, rotating CRC-checked checkpoint generations
+//! into `--checkpoint-dir`, hot-reloading `--config` at period
+//! boundaries, and publishing the operator status plane (`/status`,
+//! `/status.json`) beside the `--metrics` Prometheus scrape.
+//! `--resume-latest` restores the newest fully-valid generation —
+//! including mid-attack state such as engaged throttles — and continues
+//! exactly where the dead process stopped.
 //!
 //! `fleet` runs the paper's distributed deployment in one shot: `--stubs`
 //! copies of the `--site` workload re-homed into disjoint `128.i.0.0/16`
@@ -64,6 +77,10 @@ use syndog_router::{
     MitigationPolicy, OverflowPolicy, PcapSource, Scenario, SourceLocator, SynDogAgent,
     TraceSource, DEFAULT_BATCH_SIZE,
 };
+use syndog_serve::{
+    FloodOverlay, LoopingTraceSupply, PlanSupply, ServeConfig, ServeDaemon, ServeSpec,
+    StubSpec as ServeStubSpec,
+};
 use syndog_sim::par::Parallelism;
 use syndog_sim::{SimDuration, SimRng, SimTime};
 use syndog_telemetry::{export, ExportFormat, ScrapeServer, Telemetry};
@@ -83,6 +100,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(rest),
         "locate" => cmd_locate(rest),
         "fleet" => cmd_fleet(rest),
+        "serve" => cmd_serve(rest),
         "stats" => cmd_stats(rest),
         "theory" => cmd_theory(rest),
         "--help" | "-h" | "help" => {
@@ -108,6 +126,7 @@ const USAGE: &str = "usage:
   syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
   syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
+  syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
@@ -159,7 +178,23 @@ per /24 spoofed-source prefix) sized from the stub's learned K, and a
 hysteresis gate releases them once the statistic stays calm. detect
 prints a MITIGATION summary; fleet adds THROTTLED lines and extends
 the CSV with engaged/release periods, throttled / collateral counts,
-and the victim-observed SYN rate before and after the first alarm.";
+and the victim-observed SYN rate before and after the first alarm.
+
+serve hosts the agents as a long-running daemon for --periods
+observation periods (sim-time; default 720 = 4 sim-hours at the
+paper's t0). Traffic comes from a --plan load script (lines of the
+form `phase NAME 300s benign=1..2 attack=0..40`) driven over each
+--sites profile (comma-separated; each re-homed into 128.i.0.0/16), or
+from --in FILE replayed in an endless loop, optionally with --flood
+R@START+DURATION SYN/s overlaid on the first stub. --checkpoint-dir
+enables atomic, CRC-checked checkpoint rotation every
+--checkpoint-interval periods keeping --checkpoint-keep generations;
+--resume-latest restores the newest fully-valid generation (engaged
+throttles included) and continues. --config FILE is polled at every
+period boundary and hot-reloads detector / threshold / mitigation
+without a restart. --metrics host:port serves /status and
+/status.json beside /metrics; the final status drill-down prints on
+exit (--status-json for machine-readable).";
 
 /// Minimal `--flag value` / `--switch` argument map.
 struct Flags {
@@ -280,7 +315,11 @@ fn read_checkpoint(path: &str) -> Result<Checkpoint, String> {
 }
 
 fn write_checkpoint(checkpoint: &Checkpoint, path: &str) -> Result<(), String> {
-    std::fs::write(path, checkpoint.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    // Atomic (temp + rename): a crash mid-write can never leave a
+    // half-written file where a good checkpoint used to be.
+    checkpoint
+        .write_atomic(std::path::Path::new(path))
+        .map_err(|e| format!("write {path}: {e}"))?;
     println!("wrote checkpoint to {path}");
     Ok(())
 }
@@ -955,6 +994,209 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     metrics.finish()
 }
 
+/// Parses `--flood R@START+DURATION` (SYN/s, seconds, seconds).
+fn parse_flood(raw: &str) -> Result<(f64, f64, f64), String> {
+    let bad = || format!("invalid --flood `{raw}` (expected R@START+DURATION, e.g. 40@600+300)");
+    let (rate, when) = raw.split_once('@').ok_or_else(bad)?;
+    let (start, duration) = when.split_once('+').ok_or_else(bad)?;
+    let rate: f64 = rate.parse().map_err(|_| bad())?;
+    let start: f64 = start.parse().map_err(|_| bad())?;
+    let duration: f64 = duration.parse().map_err(|_| bad())?;
+    if rate <= 0.0 || start < 0.0 || duration <= 0.0 {
+        return Err(bad());
+    }
+    Ok((rate, start, duration))
+}
+
+/// Builds the daemon's stubs from the source flags: `--in FILE` loops a
+/// capture under `--stub`; otherwise each of `--sites` runs the
+/// `--plan` (or a steady baseline), re-homed into `128.i.0.0/16`.
+/// `--flood` overlays a spoofed SYN flood on the first stub.
+fn serve_stubs(flags: &Flags, seed: u64) -> Result<Vec<ServeStubSpec>, String> {
+    let plan = match flags.get("plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
+            syndog_traffic::LoadPlan::parse(&text)
+                .map_err(|e| format!("parse {path}: {e}"))?
+                .with_attack_target(victim())
+        }
+        None => syndog_traffic::LoadPlan::steady_baseline().with_attack_target(victim()),
+    };
+    let mut stubs: Vec<ServeStubSpec> = match flags.get("in") {
+        Some(input) => {
+            let stub = stub_flag(flags)?;
+            if flags.get("sites").is_some() || flags.get("plan").is_some() {
+                return Err("--in replays a capture; drop --sites/--plan".into());
+            }
+            let trace = read_trace(input, stub)?;
+            if trace.records().is_empty() || trace.duration() == SimDuration::ZERO {
+                return Err(format!("{input} is empty; nothing to loop"));
+            }
+            vec![ServeStubSpec {
+                stub,
+                supply: Box::new(LoopingTraceSupply::new(trace)),
+            }]
+        }
+        None => {
+            let names = flags.get("sites").unwrap_or("lbl");
+            names
+                .split(',')
+                .enumerate()
+                .map(|(i, name)| {
+                    let index = u8::try_from(i + 1)
+                        .map_err(|_| "--sites supports at most 255 entries".to_string())?;
+                    let prefix = Ipv4Net::new(Ipv4Addr::new(128, index, 0, 0), 16);
+                    let profile = site_by_name(name.trim())?.rehomed(prefix, u16::from(index));
+                    Ok(ServeStubSpec {
+                        stub: prefix,
+                        supply: Box::new(PlanSupply::new(
+                            plan.clone(),
+                            profile,
+                            seed.wrapping_add(i as u64),
+                        )),
+                    })
+                })
+                .collect::<Result<_, String>>()?
+        }
+    };
+    if let Some(raw) = flags.get("flood") {
+        let (rate, start, duration) = parse_flood(raw)?;
+        let first = stubs.remove(0);
+        stubs.insert(
+            0,
+            ServeStubSpec {
+                stub: first.stub,
+                supply: Box::new(FloodOverlay::new(
+                    first.supply,
+                    rate,
+                    SimTime::from_secs_f64(start),
+                    SimDuration::from_secs_f64(duration),
+                    victim(),
+                    seed ^ 0xf100d,
+                )),
+            },
+        );
+    }
+    Ok(stubs)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["mitigate", "resume-latest", "status-json"])?;
+    let periods: u64 = flags.parse_value("periods", 720)?;
+    if periods == 0 {
+        return Err("--periods must be positive".into());
+    }
+    let seed: u64 = flags.parse_value("seed", 1)?;
+    let t0: f64 = flags.parse_value("t0", 20.0)?;
+    if t0 <= 0.0 {
+        return Err("--t0 must be positive".into());
+    }
+    let interval: u64 = flags.parse_value("checkpoint-interval", 15)?;
+    if interval == 0 {
+        return Err("--checkpoint-interval must be positive".into());
+    }
+    let keep: usize = flags.parse_value("checkpoint-keep", 4)?;
+    if keep == 0 {
+        return Err("--checkpoint-keep must be positive".into());
+    }
+    let resume = flags.has("resume-latest");
+    if resume
+        && (flags.get("detector").is_some()
+            || flags.get("threshold").is_some()
+            || flags.has("mitigate"))
+    {
+        return Err(
+            "--resume-latest restores the checkpoint's detector and mitigation posture; \
+             drop --detector/--threshold/--mitigate (hot-reload via --config instead)"
+                .into(),
+        );
+    }
+    let config = ServeConfig {
+        detector: detector_flag(&flags)?,
+        threshold: flags.parse_value("threshold", ServeConfig::default().threshold)?,
+        mitigation: flags.has("mitigate"),
+    };
+    let spec = ServeSpec {
+        period: SimDuration::from_secs_f64(t0),
+        config,
+        config_path: flags.get("config").map(std::path::PathBuf::from),
+        checkpoint_dir: flags.get("checkpoint-dir").map(std::path::PathBuf::from),
+        checkpoint_interval: interval,
+        checkpoint_keep: keep,
+        history_keep: 256,
+    };
+    if resume && spec.checkpoint_dir.is_none() {
+        return Err("--resume-latest requires --checkpoint-dir".into());
+    }
+    let stubs = serve_stubs(&flags, seed)?;
+    let mut daemon = if resume {
+        ServeDaemon::resume_latest(spec, stubs).map_err(|e| format!("resume-latest: {e}"))?
+    } else {
+        ServeDaemon::new(spec, stubs).map_err(|e| format!("serve: {e}"))?
+    };
+    if daemon.resumed() {
+        println!(
+            "resumed from checkpoint at period {} (t = {:.0} s)",
+            daemon.next_window(),
+            daemon.sim_now().as_secs_f64()
+        );
+    }
+    // The status plane rides beside the Prometheus scrape: an address
+    // destination binds /status and /status.json next to /metrics; a
+    // file destination receives the final snapshot on exit.
+    let hub = Arc::new(Telemetry::new());
+    let mut server = None;
+    let mut file_sink = None;
+    if let Some(dest) = flags.get("metrics") {
+        let format = match flags.get("metrics-format") {
+            Some(name) => ExportFormat::parse(name)
+                .ok_or_else(|| format!("invalid --metrics-format: {name} (prom, jsonl, csv)"))?,
+            None => ExportFormat::from_path(dest).unwrap_or_default(),
+        };
+        daemon.attach_telemetry(&hub);
+        if dest.parse::<std::net::SocketAddr>().is_ok() {
+            let bound = ScrapeServer::bind_with_routes(
+                Arc::clone(&hub),
+                dest,
+                vec![daemon.status_board().route_handler()],
+            )
+            .map_err(|e| format!("bind status endpoint {dest}: {e}"))?;
+            println!(
+                "serving status at http://{0}/status (metrics at http://{0}/metrics)",
+                bound.addr()
+            );
+            server = Some(bound);
+        } else {
+            file_sink = Some((dest.to_string(), format));
+        }
+    } else if flags.get("metrics-format").is_some() {
+        return Err("--metrics-format requires --metrics".into());
+    }
+    daemon.run_for(periods);
+    let snapshot = daemon.snapshot();
+    if flags.has("status-json") {
+        println!("{}", snapshot.render_json());
+    } else {
+        print!("{}", snapshot.render_text());
+    }
+    println!(
+        "served {periods} periods ({:.0} sim-seconds); missed={} reloads={}",
+        SimDuration::from_secs_f64(t0).as_secs_f64() * periods as f64,
+        snapshot.missed_periods(),
+        snapshot.config_reloads,
+    );
+    if let Some(mut server) = server {
+        server.shutdown();
+        println!("status endpoint closed");
+    }
+    if let Some((path, format)) = file_sink {
+        std::fs::write(&path, format.render(&hub.snapshot()))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let input = flags.require("in")?;
@@ -1559,6 +1801,111 @@ mod tests {
         for p in [&trace_path, &ck, &csv] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn serve_runs_resumes_and_validates_from_the_cli() {
+        let dir = std::env::temp_dir().join(format!("syndog_test_serve_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let ck = path("ck");
+        let plan = path("plan.txt");
+        std::fs::write(
+            &plan,
+            "phase quiet 600s benign=1 attack=0\n\
+             phase flood 200s benign=1 attack=12\n\
+             phase calm 600s benign=1 attack=0\n",
+        )
+        .unwrap();
+        // A mitigated plan-driven run with rotation enabled.
+        cmd_serve(&args(&[
+            "--sites",
+            "lbl",
+            "--plan",
+            &plan,
+            "--periods",
+            "45",
+            "--seed",
+            "3",
+            "--mitigate",
+            "--checkpoint-dir",
+            &ck,
+            "--checkpoint-interval",
+            "5",
+            "--checkpoint-keep",
+            "2",
+        ]))
+        .unwrap();
+        let generations = std::fs::read_dir(&ck)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("ck-")
+            })
+            .count();
+        assert_eq!(generations, 2, "retention keeps exactly --checkpoint-keep");
+        // --resume-latest picks the newest generation up and continues.
+        cmd_serve(&args(&[
+            "--sites",
+            "lbl",
+            "--plan",
+            &plan,
+            "--seed",
+            "3",
+            "--periods",
+            "5",
+            "--checkpoint-dir",
+            &ck,
+            "--resume-latest",
+            "--status-json",
+        ]))
+        .unwrap();
+        // A looping capture with a flood overlay drives the same daemon.
+        let site = SiteProfile::lbl();
+        let mut rng = SimRng::seed_from_u64(11);
+        let trace = site.generate_trace(&mut rng);
+        let trace_path = path("loop.bin");
+        write_trace(&trace, &trace_path).unwrap();
+        cmd_serve(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &site.stub().to_string(),
+            "--flood",
+            "5@40+40",
+            "--periods",
+            "6",
+        ]))
+        .unwrap();
+        // Misuse fails loudly.
+        assert!(cmd_serve(&args(&["--periods", "0"])).is_err());
+        assert!(cmd_serve(&args(&["--resume-latest"])).is_err());
+        assert!(cmd_serve(&args(&[
+            "--resume-latest",
+            "--checkpoint-dir",
+            &ck,
+            "--detector",
+            "ewma"
+        ]))
+        .is_err());
+        assert!(cmd_serve(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            "10.0.0.0/16",
+            "--sites",
+            "lbl"
+        ]))
+        .is_err());
+        assert!(cmd_serve(&args(&["--flood", "bogus", "--periods", "2"])).is_err());
+        assert_eq!(parse_flood("40@600+300").unwrap(), (40.0, 600.0, 300.0));
+        assert!(parse_flood("40@600").is_err());
+        assert!(parse_flood("-1@0+10").is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

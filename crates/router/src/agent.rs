@@ -316,6 +316,44 @@ impl SynDogAgent {
         self.alarms.clear();
     }
 
+    /// Swaps in a new detection strategy at a period boundary — the
+    /// serve daemon's config hot-reload path. The old detector's period
+    /// count folds into the period base so alarm timestamps stay in
+    /// router time; the new detector learns its baseline from scratch
+    /// (a changed strategy or threshold invalidates the old `K̄`).
+    /// Recorded detections and alarms are history and are kept. An armed
+    /// mitigation engine is *not* rebuilt: releasing engaged throttles
+    /// because an operator tweaked a threshold would reopen the tap
+    /// mid-attack; disarm explicitly with
+    /// [`SynDogAgent::clear_mitigation`] if that is intended.
+    pub fn replace_detector(&mut self, detector: AnyDetector) {
+        self.period_base += self.detector.periods_observed();
+        self.detector = detector;
+    }
+
+    /// Disarms mitigation, releasing every engaged throttle immediately.
+    pub fn clear_mitigation(&mut self) {
+        self.mitigation = None;
+        self.mitigation_telemetry = None;
+    }
+
+    /// Bounds the recorded detection/alarm history to the most recent
+    /// `keep` entries of each, returning how many records were dropped.
+    /// A daemon closing periods for sim-weeks must not grow without
+    /// bound; long-lived aggregates (alarm totals, first-alarm time)
+    /// belong to the caller, tallied before trimming.
+    pub fn trim_history(&mut self, keep: usize) -> usize {
+        let trim = |list: &mut Vec<_>| {
+            let excess = list.len().saturating_sub(keep);
+            list.drain(..excess);
+            excess
+        };
+        let dropped = trim(&mut self.detections);
+        let excess = self.alarms.len().saturating_sub(keep);
+        self.alarms.drain(..excess);
+        dropped + excess
+    }
+
     /// Captures the agent's full detection state — detector (learned `K̄`,
     /// CUSUM statistic), router period clock, pending sniffer counts,
     /// detection series and alarms — as a [`Checkpoint`]. Restoring it
@@ -440,6 +478,76 @@ mod tests {
         assert_eq!(alarm.period, 1);
         assert_eq!(alarm.time, SimTime::from_secs(40));
         assert!(alarm.statistic >= 1.05);
+    }
+
+    #[test]
+    fn replace_detector_folds_periods_into_the_base_and_keeps_history() {
+        let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
+        agent.observe_period(sig(100, 100));
+        let d = agent.observe_period(sig(400, 100));
+        assert!(d.alarm);
+        assert_eq!(agent.detector().kind(), syndog::DetectorKind::Syndog);
+
+        // Hot-swap to the EWMA strategy at a period boundary.
+        agent.replace_detector(
+            syndog::DetectorKind::Ewma.build(SynDogConfig::paper_default().with_threshold(2.0)),
+        );
+        assert_eq!(agent.detector().kind(), syndog::DetectorKind::Ewma);
+        assert_eq!(agent.period_base(), 2);
+        // History survives the swap.
+        assert_eq!(agent.detections().len(), 2);
+        assert_eq!(agent.alarms().len(), 1);
+        // New observations land after the swap point in router time: the
+        // new detector's period 0 is absolute period 2, so an alarm it
+        // raises is stamped at the end of absolute period 2 or later.
+        let d = agent.observe_period(sig(100, 100));
+        assert_eq!(d.period, 0);
+        assert_eq!(agent.detections().len(), 3);
+    }
+
+    #[test]
+    fn clear_mitigation_releases_engaged_throttles() {
+        let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default())
+            .with_mitigation(MitigationPolicy::paper_default());
+        agent.observe_period(sig(100, 100));
+        for _ in 0..4 {
+            agent.observe_period(sig(400, 100));
+        }
+        assert!(agent.mitigation().unwrap().is_engaged());
+        agent.clear_mitigation();
+        assert!(agent.mitigation().is_none());
+        // Re-arming starts from a clean, disengaged engine.
+        agent.set_mitigation(MitigationPolicy::paper_default());
+        assert!(!agent.mitigation().unwrap().is_engaged());
+    }
+
+    #[test]
+    fn trim_history_keeps_the_most_recent_records() {
+        let stub: Ipv4Net = "10.0.0.0/8".parse().unwrap();
+        let mut agent = SynDogAgent::new(stub, SynDogConfig::paper_default());
+        agent.observe_period(sig(100, 100));
+        for _ in 0..6 {
+            agent.observe_period(sig(400, 100));
+        }
+        assert_eq!(agent.detections().len(), 7);
+        let alarms_before = agent.alarms().len();
+        assert!(alarms_before >= 1);
+        let last = *agent.detections().last().unwrap();
+        let dropped = agent.trim_history(3);
+        assert_eq!(agent.detections().len(), 3);
+        assert!(agent.alarms().len() <= 3);
+        assert_eq!(
+            dropped,
+            7 - 3 + alarms_before.saturating_sub(3),
+            "dropped count covers both lists"
+        );
+        // The newest records survive.
+        assert_eq!(*agent.detections().last().unwrap(), last);
+        // Trimming to a larger budget than held is a no-op.
+        assert_eq!(agent.trim_history(100), 0);
+        assert_eq!(agent.detections().len(), 3);
     }
 
     #[test]

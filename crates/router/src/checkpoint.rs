@@ -389,6 +389,51 @@ impl Checkpoint {
         serde_json::from_str(&envelope.payload)
             .map_err(|err| CheckpointError::Malformed(format!("payload: {err:?}")))
     }
+
+    /// Writes the checkpoint to `path` atomically: serialize to a
+    /// sibling temp file in the same directory, flush to disk, then
+    /// rename over the target. A crash mid-write leaves either the
+    /// previous complete file or a stray `.tmp` — never a truncated
+    /// checkpoint under the final name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (create, write, sync, rename).
+    pub fn write_atomic(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let file_name = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .unwrap_or("checkpoint");
+        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json().as_bytes())?;
+            file.sync_all()?;
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(err)
+            }
+        }
+    }
+
+    /// Reads and validates a checkpoint file. I/O failures (missing
+    /// file, permission) surface as [`CheckpointError::Malformed`] so a
+    /// caller probing rotation slots can treat "unreadable" and
+    /// "corrupt" uniformly: skip the slot, try the previous one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] when the file cannot be read or
+    /// fails any envelope validation.
+    pub fn read_file(path: &std::path::Path) -> Result<Checkpoint, CheckpointError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| CheckpointError::Malformed(format!("read {}: {err}", path.display())))?;
+        Checkpoint::from_json(&text)
+    }
 }
 
 #[cfg(test)]
@@ -643,5 +688,44 @@ mod tests {
             checkpoint.restore_mitigation(),
             Err(CheckpointError::InvalidState(_))
         ));
+    }
+
+    #[test]
+    fn write_atomic_round_trips_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("syndog-ck-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        let checkpoint = sample_checkpoint();
+        checkpoint.write_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::read_file(&path).unwrap(), checkpoint);
+        // Overwrite in place: the rename replaces the old file.
+        checkpoint.write_atomic(&path).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec!["ck.json".to_string()], "{entries:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_by_read_file() {
+        let dir = std::env::temp_dir().join(format!("syndog-ck-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.json");
+        let json = sample_checkpoint().to_json();
+        // A crash mid-write under non-atomic `fs::write` would leave a
+        // prefix of the envelope; every prefix must fail validation.
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        assert!(matches!(
+            Checkpoint::read_file(&path),
+            Err(CheckpointError::Malformed(_))
+        ));
+        // Missing files are Malformed too (probe-a-slot semantics).
+        assert!(matches!(
+            Checkpoint::read_file(&dir.join("absent.json")),
+            Err(CheckpointError::Malformed(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -75,7 +75,7 @@ pub use mitigate::{
 pub use router::LeafRouter;
 pub use sniffer::Sniffer;
 pub use source::{
-    EventBatch, FrameEvent, FrameSource, PcapSource, RawFrameSource, TraceSource,
-    DEFAULT_BATCH_SIZE,
+    EventBatch, FrameEvent, FrameSource, LoopingTraceSource, PcapSource, RawFrameSource,
+    TraceSource, DEFAULT_BATCH_SIZE,
 };
 pub use telemetry::{AgentTelemetry, ConcurrentTelemetry, FaultTelemetry, MitigationTelemetry};

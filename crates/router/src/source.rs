@@ -176,6 +176,87 @@ impl FrameSource for TraceSource<'_> {
     }
 }
 
+/// [`FrameSource`] that replays an owned [`Trace`] in a loop, shifting
+/// each pass by the trace's nominal duration — a bounded capture becomes
+/// an endless (or `loops`-bounded) workload for the serve daemon, the
+/// moral equivalent of `tcpreplay --loop` on a pcap.
+#[derive(Debug, Clone)]
+pub struct LoopingTraceSource {
+    trace: Trace,
+    /// Total passes to emit; `None` loops forever.
+    loops: Option<u64>,
+    pass: u64,
+    cursor: usize,
+    batch_size: usize,
+}
+
+impl LoopingTraceSource {
+    /// A source replaying `trace` end-to-end `loops` times (`None` =
+    /// forever), with the default batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's nominal duration is zero — each pass would
+    /// replay at the same timestamps and sim-time could never advance.
+    pub fn new(trace: Trace, loops: Option<u64>) -> Self {
+        assert!(
+            trace.duration() > SimDuration::ZERO,
+            "looping a zero-duration trace would freeze sim-time"
+        );
+        LoopingTraceSource {
+            trace,
+            loops,
+            pass: 0,
+            cursor: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// The trace being looped.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Completed + in-progress passes so far (0 until the first event).
+    pub fn pass(&self) -> u64 {
+        self.pass
+    }
+}
+
+impl FrameSource for LoopingTraceSource {
+    fn next_batch(&mut self, out: &mut EventBatch) -> Result<bool, NetError> {
+        out.clear();
+        let records = self.trace.records();
+        if records.is_empty() {
+            return Ok(false);
+        }
+        while out.len() < self.batch_size {
+            if self.loops.is_some_and(|total| self.pass >= total) {
+                break;
+            }
+            let offset = self.trace.duration() * self.pass;
+            let end = (self.cursor + (self.batch_size - out.len())).min(records.len());
+            for record in &records[self.cursor..end] {
+                out.push(FrameEvent {
+                    time: record.time + offset,
+                    direction: record.direction,
+                    kind: Some(record.kind),
+                });
+            }
+            self.cursor = end;
+            if self.cursor == records.len() {
+                self.cursor = 0;
+                self.pass += 1;
+            }
+        }
+        Ok(!out.is_empty())
+    }
+
+    fn duration(&self) -> Option<SimDuration> {
+        self.loops.map(|total| self.trace.duration() * total)
+    }
+}
+
 /// [`FrameSource`] over raw timestamped frames held in a [`FrameBatch`]
 /// arena — the frame bytes live back-to-back in one buffer, classified
 /// lazily as batches are drawn.
@@ -492,6 +573,58 @@ mod tests {
         let mut source = PcapSource::new(file.as_slice(), "10.1.0.0/16".parse().unwrap()).unwrap();
         let mut out = EventBatch::new();
         assert!(source.next_batch(&mut out).is_err());
+    }
+
+    #[test]
+    fn looping_source_shifts_each_pass_by_the_trace_duration() {
+        let trace = Trace::from_records(
+            vec![
+                rec(1.0, Direction::Outbound, SegmentKind::Syn),
+                rec(8.0, Direction::Inbound, SegmentKind::SynAck),
+            ],
+            SimDuration::from_secs(10),
+        );
+        let mut source = LoopingTraceSource::new(trace, Some(3));
+        assert_eq!(source.duration(), Some(SimDuration::from_secs(30)));
+        let events = drain(&mut source);
+        assert_eq!(events.len(), 6);
+        let times: Vec<f64> = events.iter().map(|e| e.time.as_secs_f64()).collect();
+        assert_eq!(times, vec![1.0, 8.0, 11.0, 18.0, 21.0, 28.0]);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert_eq!(source.pass(), 3);
+    }
+
+    #[test]
+    fn endless_looping_source_keeps_producing_full_batches() {
+        let trace = Trace::from_records(
+            vec![rec(1.0, Direction::Outbound, SegmentKind::Syn)],
+            SimDuration::from_secs(2),
+        );
+        let mut source = LoopingTraceSource::new(trace, None);
+        assert_eq!(source.duration(), None);
+        let mut out = EventBatch::new();
+        assert!(source.next_batch(&mut out).unwrap());
+        // An endless source fills whole batches from a one-record trace.
+        assert_eq!(out.len(), DEFAULT_BATCH_SIZE);
+        assert_eq!(out.events()[0].time.as_secs_f64(), 1.0);
+        assert_eq!(out.events()[1].time.as_secs_f64(), 3.0);
+        assert!(source.next_batch(&mut out).unwrap());
+        assert_eq!(out.events()[0].time.as_secs_f64(), 513.0);
+    }
+
+    #[test]
+    fn looping_source_over_empty_trace_is_immediately_exhausted() {
+        let trace = Trace::from_records(Vec::new(), SimDuration::from_secs(10));
+        let mut source = LoopingTraceSource::new(trace, None);
+        let mut out = EventBatch::new();
+        assert!(!source.next_batch(&mut out).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration")]
+    fn looping_source_rejects_zero_duration_traces() {
+        let trace = Trace::from_records(Vec::new(), SimDuration::ZERO);
+        let _ = LoopingTraceSource::new(trace, None);
     }
 
     #[test]

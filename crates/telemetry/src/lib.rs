@@ -46,7 +46,7 @@ pub use events::{Event, EventLog, FieldValue};
 pub use export::ExportFormat;
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::Registry;
-pub use scrape::ScrapeServer;
+pub use scrape::{RouteHandler, ScrapeServer};
 pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot};
 
 /// Default number of events retained by [`Telemetry::new`] — three hours

@@ -2,22 +2,45 @@
 //!
 //! No HTTP library exists in this offline workspace, and none is needed:
 //! a scrape is "read the request head, write one `text/plain` body". The
-//! server binds a `TcpListener`, answers every request with the current
-//! Prometheus exposition of its [`Telemetry`], and runs on one detached
-//! thread for the life of the process — exactly the lifetime of the agent
-//! it reports on.
+//! server binds a `TcpListener` and answers the metrics routes (`/` and
+//! `/metrics`) with the current Prometheus exposition of its
+//! [`Telemetry`]; extra routes (the serve daemon's operator status plane)
+//! plug in through [`ScrapeServer::bind_with_routes`]. Unlike the first
+//! version — which spawned a detached thread that could never be joined —
+//! the server owns its accept thread: dropping the handle (or calling
+//! [`ScrapeServer::shutdown`]) stops the loop and joins the thread, so a
+//! daemon embedding the server also owns the server's lifetime. Accept
+//! errors are no longer silently swallowed; they are counted and
+//! readable via [`ScrapeServer::accept_errors`].
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use crate::export::render_prometheus;
 use crate::Telemetry;
 
-/// A running scrape endpoint.
-#[derive(Debug)]
+/// An extra route: given the request path, returns
+/// `Some((content_type, body))` to answer it, or `None` to pass.
+pub type RouteHandler = Arc<dyn Fn(&str) -> Option<(String, String)> + Send + Sync>;
+
+/// A running scrape endpoint that owns its accept thread.
 pub struct ScrapeServer {
     addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_errors: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScrapeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScrapeServer")
+            .field("addr", &self.addr)
+            .field("accept_errors", &self.accept_errors())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ScrapeServer {
@@ -28,41 +51,120 @@ impl ScrapeServer {
     ///
     /// Returns the bind error (address in use, permission, …).
     pub fn bind(telemetry: Arc<Telemetry>, addr: &str) -> std::io::Result<ScrapeServer> {
+        ScrapeServer::bind_with_routes(telemetry, addr, Vec::new())
+    }
+
+    /// Like [`ScrapeServer::bind`], but consults `routes` (in order)
+    /// before falling back to the metrics route. `/` and `/metrics`
+    /// always answer with the Prometheus exposition; any other path is
+    /// offered to the handlers and 404s if none claims it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, …).
+    pub fn bind_with_routes(
+        telemetry: Arc<Telemetry>,
+        addr: &str,
+        routes: Vec<RouteHandler>,
+    ) -> std::io::Result<ScrapeServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                let Ok(stream) = stream else { continue };
-                // One scrape at a time: a metrics endpoint for one agent
-                // has exactly one scraper; serialize rather than spawn.
-                let _ = answer(stream, &telemetry);
-            }
-        });
-        Ok(ScrapeServer { addr: local })
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_errors = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let accept_errors = Arc::clone(&accept_errors);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        // One scrape at a time: a metrics endpoint for
+                        // one agent has exactly one scraper; serialize
+                        // rather than spawn.
+                        Ok(stream) => {
+                            let _ = answer(stream, &telemetry, &routes);
+                        }
+                        Err(_) => {
+                            accept_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        };
+        Ok(ScrapeServer {
+            addr: local,
+            stop,
+            accept_errors,
+            thread: Some(thread),
+        })
     }
 
     /// The bound address (with the OS-assigned port when bound to `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
+
+    /// Accept errors observed since bind (previously swallowed silently).
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent; also runs
+    /// on drop, so the server's lifetime is exactly its owner's.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            // The accept loop is parked in `accept(2)`; poke it awake
+            // with a throwaway connection so it can observe the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
 }
 
-fn answer(stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn answer(
+    stream: TcpStream,
+    telemetry: &Telemetry,
+    routes: &[RouteHandler],
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
-    // Drain the request head; the path is irrelevant — every route is
-    // the metrics route.
+    // Read the request line for the path, then drain the header block.
     let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let path = line.split_whitespace().nth(1).unwrap_or("/").to_string();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
             break;
         }
     }
-    let body = render_prometheus(&telemetry.snapshot());
     let mut stream = reader.into_inner();
+    let (status, content_type, body) = match path.as_str() {
+        "/" | "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4".to_string(),
+            render_prometheus(&telemetry.snapshot()),
+        ),
+        other => match routes.iter().find_map(|route| route(other)) {
+            Some((content_type, body)) => ("200 OK", content_type, body),
+            None => (
+                "404 Not Found",
+                "text/plain".to_string(),
+                format!("no route for {other}\n"),
+            ),
+        },
+    };
     write!(
         stream,
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()
@@ -73,15 +175,20 @@ mod tests {
     use super::*;
     use std::io::Read;
 
+    fn fetch(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
     #[test]
     fn scrape_returns_prometheus_text() {
         let telemetry = Arc::new(Telemetry::new());
         telemetry.registry().counter("syndog_periods_total").add(9);
         let server = ScrapeServer::bind(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
+        let response = fetch(server.addr(), "/metrics");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
         assert!(response.contains("text/plain"), "{response}");
         assert!(response.contains("syndog_periods_total 9"), "{response}");
@@ -92,15 +199,51 @@ mod tests {
         let telemetry = Arc::new(Telemetry::new());
         let counter = telemetry.registry().counter("ticks");
         let server = ScrapeServer::bind(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
-        let fetch = || {
-            let mut stream = TcpStream::connect(server.addr()).unwrap();
-            write!(stream, "GET / HTTP/1.0\r\n\r\n").unwrap();
-            let mut response = String::new();
-            stream.read_to_string(&mut response).unwrap();
-            response
-        };
-        assert!(fetch().contains("ticks 0"));
+        assert!(fetch(server.addr(), "/").contains("ticks 0"));
         counter.add(3);
-        assert!(fetch().contains("ticks 3"));
+        assert!(fetch(server.addr(), "/").contains("ticks 3"));
+    }
+
+    #[test]
+    fn extra_routes_answer_and_unknown_paths_404() {
+        let telemetry = Arc::new(Telemetry::new());
+        let route: RouteHandler = Arc::new(|path| {
+            (path == "/status").then(|| ("text/plain".to_string(), "all well\n".to_string()))
+        });
+        let server =
+            ScrapeServer::bind_with_routes(Arc::clone(&telemetry), "127.0.0.1:0", vec![route])
+                .unwrap();
+        let status = fetch(server.addr(), "/status");
+        assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+        assert!(status.contains("all well"), "{status}");
+        let missing = fetch(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        // Metrics still answer on the canonical paths.
+        assert!(fetch(server.addr(), "/metrics").contains("HTTP/1.1 200 OK"));
+    }
+
+    #[test]
+    fn shutdown_joins_the_accept_thread() {
+        let telemetry = Arc::new(Telemetry::new());
+        let mut server = ScrapeServer::bind(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        assert!(fetch(addr, "/").contains("200 OK"));
+        server.shutdown();
+        assert!(server.thread.is_none());
+        // Second shutdown is a no-op; drop after shutdown is safe too.
+        server.shutdown();
+        drop(server);
+        // The listener is gone: a fresh bind to the same address works.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn drop_stops_the_server() {
+        let telemetry = Arc::new(Telemetry::new());
+        let server = ScrapeServer::bind(Arc::clone(&telemetry), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        drop(server);
+        assert!(TcpListener::bind(addr).is_ok());
     }
 }

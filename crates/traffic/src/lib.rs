@@ -39,11 +39,13 @@
 
 pub mod arrival;
 pub mod connection;
+pub mod load;
 pub mod server;
 pub mod sites;
 pub mod trace;
 
 pub use arrival::ArrivalModel;
 pub use connection::{ConnectionParams, HandshakeOutcome};
+pub use load::{LoadPhase, LoadPlan};
 pub use sites::SiteProfile;
 pub use trace::{Direction, PeriodSample, Trace, TraceRecord};
