@@ -4,7 +4,10 @@
 //! repro all [--seed N] [--jobs N]     run every experiment in paper order
 //! repro <id>... [--seed N] [--jobs N] run specific experiments
 //! repro list                          list experiment ids
-//! repro bench [--quick] [--out DIR]   write BENCH_*.json throughput snapshots
+//! repro bench [--quick] [--out DIR] [--check]
+//!                                     write BENCH_*.json throughput snapshots,
+//!                                     or with --check compare a fresh run
+//!                                     against the committed ones
 //! ```
 //!
 //! `--jobs` caps the worker threads of the deterministic runner; outputs
@@ -54,7 +57,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: repro [all | list | <id>...] [--seed N] [--jobs N]");
-                println!("       repro bench [--quick] [--out DIR]");
+                println!("       repro bench [--quick] [--out DIR] [--check]");
                 println!("experiment ids: {}", EXPERIMENT_IDS.join(", "));
                 return;
             }
@@ -84,14 +87,18 @@ fn main() {
 
 /// `repro bench`: wall-clock throughput snapshots as `BENCH_*.json`.
 /// Defaults to the current directory (the repo root in CI) so the files
-/// land where the committed copies live.
+/// land where the committed copies live. With `--check`, compares a fresh
+/// run against the committed snapshots instead of overwriting them, and
+/// exits nonzero if any case regressed more than the tolerance.
 fn run_bench(args: &[String]) {
     let mut quick = false;
+    let mut check = false;
     let mut out = std::path::PathBuf::from(".");
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--check" => check = true,
             "--out" => {
                 let value = iter.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory");
@@ -104,6 +111,22 @@ fn run_bench(args: &[String]) {
                 std::process::exit(2);
             }
         }
+    }
+    if check {
+        let lines = syndog_bench::quickbench::check_all(&out, quick);
+        let mut regressed = false;
+        for line in &lines {
+            println!("{}: {}", line.case, line.message);
+            regressed |= line.regressed;
+        }
+        if regressed {
+            eprintln!(
+                "throughput regressed more than {:.0}% below the committed snapshots",
+                syndog_bench::quickbench::REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
     }
     for path in syndog_bench::quickbench::run_all(&out, quick) {
         println!("wrote {}", path.display());

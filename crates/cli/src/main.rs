@@ -5,7 +5,7 @@
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
 //! syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
 //! syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
-//! syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
+//! syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--shards N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
 //! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
 //! syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
@@ -37,7 +37,7 @@
 //! compact binary trace format otherwise. `detect` and `locate` run the
 //! same agent pipeline the experiments use; `sniff` streams a capture
 //! through the batched `FrameSource` pipeline and `replay` drives the
-//! two-thread concurrent deployment over `FrameBatch` channels.
+//! sharded concurrent deployment over `FrameBatch` channels.
 //!
 //! `--metrics DEST` attaches a [`Telemetry`] hub to the run. A socket
 //! address (`127.0.0.1:9100`) serves live Prometheus scrapes for the life
@@ -123,7 +123,7 @@ const USAGE: &str = "usage:
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
   syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
-  syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+  syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--shards N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
   syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
   syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
@@ -132,8 +132,10 @@ const USAGE: &str = "usage:
 
 FILE format: pcap when the name ends in .pcap, binary trace otherwise.
 sniff streams the capture through the batched FrameSource pipeline;
-replay drives the two-thread concurrent deployment with FrameBatch
-channels (--drop sheds batches on overflow instead of blocking).
+replay drives the concurrent deployment with FrameBatch channels
+(--drop sheds batches on overflow instead of blocking; --shards N
+spreads each direction across N flow-hashed sniffer queues, reports
+stay byte-identical at any shard count).
 
 --metrics DEST records detector telemetry: a socket address (host:port)
 serves live Prometheus scrapes during the run; any other DEST is a file
@@ -686,9 +688,10 @@ fn cmd_sniff(args: &[String]) -> Result<(), String> {
     metrics.finish()
 }
 
-/// Replays a trace through the two-thread concurrent deployment:
-/// per-direction [`FrameBatch`]es over bounded channels, lock-free atomic
-/// counters, a `flush` barrier at every period boundary.
+/// Replays a trace through the concurrent deployment: per-direction
+/// [`FrameBatch`]es over bounded channels (`--shards N` flow-hashed
+/// queues per direction), lock-free atomic counters, a `flush` barrier at
+/// every period boundary.
 ///
 /// [`FrameBatch`]: syndog_net::FrameBatch
 fn cmd_replay(args: &[String]) -> Result<(), String> {
@@ -700,6 +703,13 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let capacity: usize = flags.parse_value("capacity", 64)?;
     if capacity == 0 {
         return Err("--capacity must be positive".into());
+    }
+    let shards: usize = flags.parse_value("shards", 1)?;
+    if !(1..=syndog_router::MAX_SHARDS).contains(&shards) {
+        return Err(format!(
+            "--shards must be between 1 and {}",
+            syndog_router::MAX_SHARDS
+        ));
     }
     let policy = if flags.has("drop") {
         OverflowPolicy::Drop
@@ -720,8 +730,14 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         Some(path) => {
             reject_config_flags_on_resume(&flags)?;
             let checkpoint = read_checkpoint(path)?;
-            let dog = ConcurrentSynDog::resume(&checkpoint, capacity, policy, metrics.attachment())
-                .map_err(|e| format!("restore {path}: {e}"))?;
+            let dog = ConcurrentSynDog::resume_with_shards(
+                &checkpoint,
+                capacity,
+                policy,
+                shards,
+                metrics.attachment(),
+            )
+            .map_err(|e| format!("restore {path}: {e}"))?;
             println!(
                 "resumed from {path} at period {}",
                 dog.router().current_period()
@@ -730,7 +746,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         }
         None => {
             let detector = detector_flag(&flags)?.build(detect_config(&flags)?);
-            ConcurrentSynDog::with_detector(detector, capacity, policy, metrics.attachment())
+            ConcurrentSynDog::with_shards(detector, capacity, policy, shards, metrics.attachment())
         }
     };
     let period = dog.router().period();
@@ -803,8 +819,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let dropped_batches = dog.dropped_batches();
     let (out_frames, in_frames) = dog.shutdown();
     println!(
-        "replayed {} periods through 2 sniffer threads: {out_frames} outbound / {in_frames} inbound frames (batch size {batch_size}, capacity {capacity})",
-        total_periods - start_period
+        "replayed {} periods through {} sniffer threads: {out_frames} outbound / {in_frames} inbound frames (batch size {batch_size}, capacity {capacity}, shards {shards})",
+        total_periods - start_period,
+        2 * shards,
     );
     if dropped_batches > 0 {
         println!("overflow shed {dropped_batches} batches / {dropped_frames} frames");

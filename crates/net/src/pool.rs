@@ -1,0 +1,268 @@
+//! A lock-free recycling arena for [`FrameBatch`] buffers.
+//!
+//! The batched hot path reaches zero steady-state allocation only if the
+//! arenas themselves are reused: a [`FrameBatch`] keeps its `Vec` capacity
+//! across [`clear`](FrameBatch::clear), so a batch that has been through the
+//! pipeline once can carry the next burst of frames without touching the
+//! allocator. [`BatchPool`] is the hand-off point — producers
+//! [`acquire`](BatchPool::acquire) a warm batch, fill it, and send it
+//! through a channel; consumers classify it and [`recycle`](BatchPool::recycle)
+//! it back.
+//!
+//! The pool is a fixed ring of slots, each guarded by a one-byte atomic
+//! state machine (`EMPTY → CLAIMED → FULL → CLAIMED → EMPTY`). Both
+//! `acquire` and `recycle` are wait-free scans with one CAS per visited
+//! slot: no locks, no allocation, no unbounded retry loop. A cold pool (or
+//! one drained faster than it is refilled) falls back to a fresh
+//! `FrameBatch` and counts the miss, so the pool is a throughput
+//! optimization, never a correctness constraint.
+//!
+//! ```
+//! use syndog_net::pool::BatchPool;
+//!
+//! let pool = BatchPool::new(4);
+//! let mut batch = pool.acquire(); // cold: a fresh batch, counted as a miss
+//! batch.push(&[0u8; 64]);
+//! pool.recycle(batch); // cleared and parked for the next acquire
+//! assert_eq!(pool.occupancy(), 1);
+//! let warm = pool.acquire(); // reuses the parked arena: no allocation
+//! assert!(warm.is_empty());
+//! assert_eq!(pool.stats().hits, 1);
+//! ```
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crate::batch::FrameBatch;
+
+/// Slot has no parked batch.
+const EMPTY: u8 = 0;
+/// Slot holds a cleared batch ready to acquire.
+const FULL: u8 = 1;
+/// Slot is momentarily owned by one thread moving a batch in or out.
+const CLAIMED: u8 = 2;
+
+struct Slot {
+    state: AtomicU8,
+    batch: UnsafeCell<FrameBatch>,
+}
+
+/// A fixed-capacity, lock-free pool of recycled [`FrameBatch`] arenas.
+///
+/// See the [module docs](self) for the slot protocol. All operations take
+/// `&self`; the pool is meant to be shared across threads behind an `Arc`.
+pub struct BatchPool {
+    slots: Box<[Slot]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    recycled: AtomicU64,
+    discarded: AtomicU64,
+}
+
+// SAFETY: a slot's `UnsafeCell<FrameBatch>` is only touched by the thread
+// that moved the slot into CLAIMED via compare_exchange, and the
+// acquire/release orderings on the state transitions make the batch contents
+// visible to the next claimant.
+unsafe impl Send for BatchPool {}
+unsafe impl Sync for BatchPool {}
+
+impl std::fmt::Debug for BatchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchPool")
+            .field("slots", &self.slots.len())
+            .field("occupancy", &self.occupancy())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Counters describing how effective the pool has been.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from a parked batch.
+    pub hits: u64,
+    /// Acquires that fell back to a fresh allocation (cold or drained pool).
+    pub misses: u64,
+    /// Batches successfully parked for reuse.
+    pub recycled: u64,
+    /// Batches dropped because every slot was already full.
+    pub discarded: u64,
+}
+
+impl BatchPool {
+    /// A pool with `slots` parking spaces, all initially empty.
+    pub fn new(slots: usize) -> Self {
+        BatchPool {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    state: AtomicU8::new(EMPTY),
+                    batch: UnsafeCell::new(FrameBatch::new()),
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// A pool whose slots are pre-filled with batches that each reserve
+    /// space for `frames` frames totalling `bytes` bytes, so even the first
+    /// acquires are warm.
+    pub fn prewarmed(slots: usize, frames: usize, bytes: usize) -> Self {
+        let mut pool = BatchPool::new(slots);
+        for slot in pool.slots.iter_mut() {
+            *slot.batch.get_mut() = FrameBatch::with_capacity(frames, bytes);
+            *slot.state.get_mut() = FULL;
+        }
+        pool
+    }
+
+    /// Number of parking slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots currently holding a parked batch.
+    pub fn occupancy(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| slot.state.load(Ordering::Relaxed) == FULL)
+            .count()
+    }
+
+    /// A snapshot of the pool's hit/miss/recycle counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Takes a cleared batch out of the pool, or builds a fresh one if no
+    /// slot holds one. Never blocks.
+    pub fn acquire(&self) -> FrameBatch {
+        for slot in self.slots.iter() {
+            if slot
+                .state
+                .compare_exchange(FULL, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: this thread owns the slot while it is CLAIMED.
+                let batch = std::mem::take(unsafe { &mut *slot.batch.get() });
+                slot.state.store(EMPTY, Ordering::Release);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return batch;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        FrameBatch::new()
+    }
+
+    /// Clears `batch` and parks it for reuse; if every slot is occupied the
+    /// batch is dropped (and counted). Never blocks.
+    pub fn recycle(&self, mut batch: FrameBatch) {
+        batch.clear();
+        for slot in self.slots.iter() {
+            if slot
+                .state
+                .compare_exchange(EMPTY, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: this thread owns the slot while it is CLAIMED. The
+                // displaced value is always a capacity-less default batch,
+                // so dropping it frees nothing.
+                unsafe { *slot.batch.get() = batch };
+                slot.state.store(FULL, Ordering::Release);
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.discarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cold_acquire_is_a_miss_and_recycle_round_trips() {
+        let pool = BatchPool::new(2);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.occupancy(), 0);
+        let mut batch = pool.acquire();
+        assert_eq!(pool.stats().misses, 1);
+        batch.push(&[1, 2, 3]);
+        pool.recycle(batch);
+        assert_eq!(pool.occupancy(), 1);
+        let warm = pool.acquire();
+        assert!(warm.is_empty(), "recycled batches come back cleared");
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses, stats.recycled), (1, 1, 1));
+    }
+
+    #[test]
+    fn recycled_batch_keeps_its_arena_capacity() {
+        let pool = BatchPool::new(1);
+        let mut batch = pool.acquire();
+        for _ in 0..64 {
+            batch.push(&[0u8; 128]);
+        }
+        pool.recycle(batch);
+        let warm = pool.acquire();
+        assert!(warm.is_empty());
+        let mut warm = warm;
+        // Refilling to the same shape must not grow the arena.
+        for _ in 0..64 {
+            warm.push(&[0u8; 128]);
+        }
+        assert_eq!(warm.len(), 64);
+    }
+
+    #[test]
+    fn overflow_discards_instead_of_growing() {
+        let pool = BatchPool::new(1);
+        pool.recycle(FrameBatch::new());
+        pool.recycle(FrameBatch::new());
+        assert_eq!(pool.occupancy(), 1);
+        assert_eq!(pool.stats().discarded, 1);
+    }
+
+    #[test]
+    fn prewarmed_pool_hits_immediately() {
+        let pool = BatchPool::prewarmed(3, 16, 1024);
+        assert_eq!(pool.occupancy(), 3);
+        let batch = pool.acquire();
+        assert!(batch.is_empty());
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 0);
+    }
+
+    #[test]
+    fn concurrent_acquire_recycle_is_balanced() {
+        let pool = Arc::new(BatchPool::prewarmed(8, 4, 256));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    let mut batch = pool.acquire();
+                    batch.push(&[0u8; 40]);
+                    pool.recycle(batch);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 8000);
+        assert_eq!(stats.recycled + stats.discarded, 8000);
+        // Everything that was parked is still parked.
+        assert_eq!(pool.occupancy(), 8);
+    }
+}

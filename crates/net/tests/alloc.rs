@@ -1,0 +1,108 @@
+//! Asserts the batched classify hot path is allocation-free at steady
+//! state: once a `FrameBatch` has been through the `BatchPool` and grown to
+//! its working size, acquire → fill → classify → recycle must never touch
+//! the allocator again.
+//!
+//! This file holds exactly one `#[test]` on purpose: the counting allocator
+//! is process-global, and a sibling test running on another thread would
+//! pollute the measurement. Integration-test files are separate binaries,
+//! so isolation here is total.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use syndog_net::batch::classify_batch;
+use syndog_net::packet::PacketBuilder;
+use syndog_net::pool::BatchPool;
+use syndog_net::tcp::TcpFlags;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_classify_loop_does_not_allocate() {
+    let pool = BatchPool::new(4);
+    let frames: Vec<Vec<u8>> = (0..256)
+        .map(|i| {
+            let flags = match i % 4 {
+                0 => TcpFlags::SYN,
+                1 => TcpFlags::SYN | TcpFlags::ACK,
+                2 => TcpFlags::ACK,
+                _ => TcpFlags::FIN | TcpFlags::ACK,
+            };
+            PacketBuilder::tcp(
+                "10.0.0.7:1025".parse().unwrap(),
+                "192.0.2.80:80".parse().unwrap(),
+                flags,
+            )
+            .build()
+            .unwrap()
+        })
+        .collect();
+
+    let mut syns = 0u64;
+    let run = |rounds: usize, syns: &mut u64| {
+        for _ in 0..rounds {
+            let mut batch = pool.acquire();
+            for frame in &frames {
+                batch.push(frame);
+            }
+            *syns += classify_batch(&batch).syn();
+            pool.recycle(batch);
+        }
+    };
+
+    // Warmup: grows the pooled arenas to their working size.
+    run(8, &mut syns);
+    let mut rounds = 8u64;
+
+    // The loop itself is single-threaded and deterministic, but the
+    // allocator count is process-global and the libtest harness's main
+    // thread blocks on an mpsc `recv` while this test runs — std's channel
+    // grows its thread-parking registry (`mpmc::waker`) lazily the first
+    // time that block happens, at a scheduler-dependent moment. Those
+    // capacities are monotone, so the allocation-free steady state is
+    // guaranteed reachable; assert it is *reached* — one full measurement
+    // window with zero allocations — rather than that the first is clean.
+    let mut clean = false;
+    for _ in 0..10 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        run(64, &mut syns);
+        rounds += 64;
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        if after == before {
+            clean = true;
+            break;
+        }
+    }
+    assert!(
+        clean,
+        "steady-state acquire/fill/classify/recycle must stop allocating"
+    );
+    assert_eq!(syns, rounds * 64, "classification still produced tallies");
+    assert_eq!(
+        pool.stats().misses,
+        1,
+        "only the cold start missed the pool"
+    );
+}

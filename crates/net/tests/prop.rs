@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use std::io::Cursor;
 use std::net::{Ipv4Addr, SocketAddrV4};
 
-use syndog_net::batch::{classify_batch, ClassCounts, FrameBatch};
-use syndog_net::classify::{classify, kind_of};
+use syndog_net::batch::{classify_batch, classify_batch_scalar, ClassCounts, FrameBatch};
+use syndog_net::classify::{classify, flow_hash, kind_of};
 use syndog_net::ipv4::{internet_checksum, Ipv4Header};
 use syndog_net::packet::{Packet, PacketBuilder};
 use syndog_net::pcap::{PcapPacket, PcapReader, PcapWriter};
@@ -20,11 +20,35 @@ fn arb_socket() -> impl Strategy<Value = SocketAddrV4> {
     (arb_ipv4(), any::<u16>()).prop_map(|(ip, port)| SocketAddrV4::new(ip, port))
 }
 
+/// A hand-assembled IPv4/TCP frame with an arbitrary IHL (including the
+/// odd option-bearing lengths `PacketBuilder` never emits) and an
+/// arbitrary version nibble. Exercises the SWAR fast path's fallback
+/// precondition: only `ver_ihl == 0x45` frames stay on the fast lanes.
+fn raw_ihl_frame(version: u8, ihl_words: u8, flag_bits: u8, tail: usize) -> Vec<u8> {
+    let ihl = usize::from(ihl_words) * 4;
+    let mut frame = vec![0u8; 14 + ihl + 14 + tail];
+    frame[12] = 0x08;
+    frame[13] = 0x00;
+    frame[14] = (version << 4) | ihl_words;
+    frame[14 + 9] = 6; // protocol: TCP
+    let flags_offset = 14 + ihl + 13;
+    if flags_offset < frame.len() {
+        frame[flags_offset] = flag_bits;
+    }
+    frame
+}
+
 /// An arbitrary frame drawn from every shape the sniffer can meet on the
 /// wire: TCP with any of the 64 flag combinations, later IP fragments,
-/// non-TCP protocols, truncated frames, foreign ethertypes, raw garbage.
+/// non-TCP protocols, truncated frames, foreign ethertypes, odd IHLs,
+/// raw garbage.
 fn arb_frame() -> impl Strategy<Value = Vec<u8>> {
     prop_oneof![
+        // Hand-built IPv4/TCP with arbitrary IHL nibble (0..=15: bad,
+        // minimal, and option-bearing) and version nibble 4 or not.
+        (prop_oneof![Just(4u8), 0u8..16], 0u8..16, 0u8..64, 0usize..8).prop_map(
+            |(version, ihl_words, bits, tail)| raw_ihl_frame(version, ihl_words, bits, tail)
+        ),
         // Well-formed TCP, all 64 flag combinations.
         (arb_socket(), arb_socket(), 0u8..64).prop_map(|(src, dst, bits)| {
             PacketBuilder::tcp(src, dst, TcpFlags::from_bits_truncate(bits))
@@ -80,6 +104,28 @@ proptest! {
         for (stored, original) in batch.iter().zip(&frames) {
             prop_assert_eq!(stored, original.as_slice());
         }
+    }
+
+    /// The SWAR fast path and the scalar reference fold produce identical
+    /// tallies — including the malformed bucket — over arbitrary mixes of
+    /// truncated, non-IPv4, fragmented and odd-IHL frames.
+    #[test]
+    fn swar_classify_matches_scalar_reference(
+        frames in proptest::collection::vec(arb_frame(), 0..96),
+    ) {
+        let batch: FrameBatch = frames.iter().collect();
+        prop_assert_eq!(classify_batch(&batch), classify_batch_scalar(&batch));
+    }
+
+    /// The flow hash is a pure function of the frame bytes (same flow →
+    /// same shard) and never panics on garbage.
+    #[test]
+    fn flow_hash_is_stable_and_total(
+        frame in arb_frame(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assert_eq!(flow_hash(&frame), flow_hash(&frame));
+        let _ = flow_hash(&garbage);
     }
 
     /// Any built TCP packet decodes back to the same endpoints, flags,

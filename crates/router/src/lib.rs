@@ -63,7 +63,7 @@ pub mod telemetry;
 
 pub use agent::{Alarm, SynDogAgent};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
-pub use concurrent::{ConcurrentSynDog, OverflowPolicy};
+pub use concurrent::{ConcurrentSynDog, OverflowPolicy, MAX_SHARDS};
 pub use episodes::{extract_episodes, AttackEpisode};
 pub use faults::{FaultInjector, FaultLedger, FaultSpec};
 pub use fleet::{derive_seed, Fleet, FleetReport, Scenario, StubReport, StubSpec, TopologyCheck};
