@@ -3,10 +3,11 @@
 //!
 //! Complements the statistical `criterion` benches in `benches/`: this
 //! module runs in well under a second via `repro bench` and snapshots the
-//! four hot paths a deployment pays for — packet classification, the
+//! five hot paths a deployment pays for — packet classification, the
 //! concurrent deployment's frame submission channel, the mitigation
-//! throttle's admit/deny decision, and each detection strategy's
-//! per-period `observe`. CI writes the files at the repo root and uploads
+//! throttle's admit/deny decision, each detection strategy's per-period
+//! `observe`, and the fleet's streaming count-level fold (stub-periods/s
+//! per worker). CI writes the files at the repo root and uploads
 //! them as an artifact, so throughput regressions show up in the diff of
 //! a committed `BENCH_*.json` rather than only in a transient log.
 
@@ -284,14 +285,50 @@ pub fn bench_detector_observe(ops: u64) -> BenchReport {
     }
 }
 
+/// Stub-periods/s through the fleet's streaming count-level fold — the
+/// rate at which one machine can simulate leaf vantage points. Uses a
+/// short-duration LBL fleet so the loop body is dominated by the same
+/// per-period work a 2,000-stub scale run pays.
+pub fn bench_fleet_period(stubs: usize) -> BenchReport {
+    use syndog_sim::par::Parallelism;
+    use syndog_sim::SimDuration;
+    use syndog_traffic::sites::SiteProfile;
+
+    let template = SiteProfile::lbl().with_duration(SimDuration::from_secs(1200));
+    let scenario = syndog_router::Scenario::uniform(
+        "quickbench",
+        &template,
+        stubs,
+        SynDogConfig::paper_default(),
+        17,
+    );
+    let fleet = syndog_router::Fleet::new(scenario).with_parallelism(Parallelism::Fixed(1));
+    // 1200 s at the paper's 20 s period = 60 periods per stub.
+    let ops = (stubs as u64) * 60;
+    let case = timed("stream_fold", ops, || {
+        let rows = fleet.fold_counts(0usize, |n, _| *n += 1);
+        assert_eq!(rows, stubs);
+    });
+    BenchReport {
+        name: "fleet_period",
+        op: "stub-periods folded (count-level, 1 worker)",
+        cases: vec![case],
+    }
+}
+
 /// Runs every quick benchmark, returning the in-memory reports.
 pub fn run_reports(quick: bool) -> Vec<BenchReport> {
-    let (iters, ops) = if quick { (4, 4096) } else { (200, 200_000) };
+    let (iters, ops, stubs) = if quick {
+        (4, 4096, 8)
+    } else {
+        (200, 200_000, 64)
+    };
     vec![
         bench_classify(iters),
         bench_concurrent_submit(iters),
         bench_throttle(ops),
         bench_detector_observe(ops),
+        bench_fleet_period(stubs),
     ]
 }
 
@@ -450,6 +487,7 @@ mod tests {
                 "concurrent_submit",
                 "throttle",
                 "detector_observe",
+                "fleet_period",
             ] {
                 let body = format!(
                     "{{\n  \"results\": [\n    {{\"case\": \"any\", \"ops\": 1, \
@@ -480,15 +518,16 @@ mod tests {
     }
 
     #[test]
-    fn run_all_writes_the_four_artifacts() {
+    fn run_all_writes_the_five_artifacts() {
         let dir = std::env::temp_dir().join(format!("syndog-quickbench-{}", std::process::id()));
         let files = run_all(&dir, true);
-        assert_eq!(files.len(), 4);
+        assert_eq!(files.len(), 5);
         for (file, name) in files.iter().zip([
             "BENCH_classify.json",
             "BENCH_concurrent_submit.json",
             "BENCH_throttle.json",
             "BENCH_detector_observe.json",
+            "BENCH_fleet_period.json",
         ]) {
             assert_eq!(file.file_name().unwrap(), name);
             let body = std::fs::read_to_string(file).unwrap();

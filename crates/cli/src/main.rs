@@ -7,7 +7,7 @@
 //! syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
 //! syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--shards N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
-//! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
+//! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,A-B,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--regions N] [--label-budget N] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
 //! syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
@@ -26,12 +26,16 @@
 //! exactly where the dead process stopped.
 //!
 //! `fleet` runs the paper's distributed deployment in one shot: `--stubs`
-//! copies of the `--site` workload re-homed into disjoint `128.i.0.0/16`
-//! prefixes, a DDoS campaign of `--total-rate` SYN/s split across the
-//! `--attackers` stub indices, one SYN-dog agent per stub on the
-//! deterministic parallel runner, and a per-stub report (first alarm,
-//! delay, false alarms, suspect MAC) with `IMPLICATED <cidr>` lines and a
-//! traceback topology cross-check. Output is identical for any `--jobs`.
+//! copies of the `--site` workload re-homed into disjoint prefixes
+//! (`128.i.0.0/16` for the first 256, /20 blocks beyond), a DDoS campaign
+//! of `--total-rate` SYN/s split across the `--attackers` stub indices,
+//! one SYN-dog agent per stub on the deterministic parallel runner, and a
+//! per-stub report (first alarm, delay, false alarms, suspect MAC) with
+//! `IMPLICATED <cidr>` lines and a traceback topology cross-check.
+//! `--regions N` attaches the hierarchical correlation tier: the
+//! count-level rows stream straight to `--csv` while regional collectors
+//! cluster alarm onsets into a reconstructed campaign report. Output is
+//! identical for any `--jobs`.
 //!
 //! Trace files use the pcap format when the name ends in `.pcap`, the
 //! compact binary trace format otherwise. `detect` and `locate` run the
@@ -73,7 +77,7 @@ use syndog::{theory, DetectorKind, SynDogConfig};
 use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
 use syndog_router::{
-    Checkpoint, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, Fleet,
+    Checkpoint, CollectorConfig, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, Fleet,
     MitigationPolicy, OverflowPolicy, PcapSource, Scenario, SourceLocator, SynDogAgent,
     TraceSource, DEFAULT_BATCH_SIZE,
 };
@@ -83,7 +87,7 @@ use syndog_serve::{
 };
 use syndog_sim::par::Parallelism;
 use syndog_sim::{SimDuration, SimRng, SimTime};
-use syndog_telemetry::{export, ExportFormat, ScrapeServer, Telemetry};
+use syndog_telemetry::{export, ExportFormat, LabelBudget, ScrapeServer, Telemetry};
 use syndog_traffic::{Direction, SiteProfile, Trace, TraceRecord};
 
 fn main() -> ExitCode {
@@ -125,7 +129,7 @@ const USAGE: &str = "usage:
   syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
   syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--shards N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
-  syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
+  syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,A-B,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--regions N] [--label-budget N] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
   syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
@@ -166,12 +170,20 @@ strategy and configuration, so --tuned/--t0/--detector are rejected
 alongside --resume.
 
 fleet simulates the paper's distributed deployment: --stubs copies of
-the --site workload in disjoint 128.i.0.0/16 prefixes, one SYN-dog per
-stub, and a DDoS campaign of --total-rate SYN/s split across the
---attackers stub indices (comma-separated). The report lists per-stub
-first alarms, delays, false alarms and suspect MACs, prints IMPLICATED
-lines for alarming stubs, and cross-checks against traceback topology.
---counts runs the cheaper count-level path (no MAC localization);
+the --site workload in disjoint prefixes (128.i.0.0/16 for the first
+256, /20 blocks beyond), one SYN-dog per stub, and a DDoS campaign of
+--total-rate SYN/s split across the --attackers stub indices
+(comma-separated, inclusive A-B ranges allowed). The report lists
+per-stub first alarms, delays, false alarms and suspect MACs, prints
+IMPLICATED lines for alarming stubs, and cross-checks against
+traceback topology. --counts runs the streaming count-level path (no
+MAC localization) — required past 255 stubs. --regions N adds the
+hierarchical correlation tier: count-level rows stream to --csv while
+N regional collectors cluster alarm onsets and reconstruct the
+distributed campaign (CAMPAIGN lines, reconstruction verdict, and its
+own topology cross-check) in place of the per-stub table.
+--label-budget N (with --metrics) caps label cardinality: past N label
+sets agents share per-region rollup series instead of per-stub ones.
 --jobs caps workers without changing any output byte.
 
 --mitigate (detect and fleet) arms source-end mitigation: the first
@@ -924,16 +936,26 @@ fn cmd_locate(args: &[String]) -> Result<(), String> {
 /// Reads a JSON Lines metrics dump (written by `--metrics FILE.jsonl`)
 /// and prints a human summary, or re-renders it in another exporter
 /// format with `--format`.
-/// Parses `--attackers` as comma-separated stub indices.
+/// Parses `--attackers` as comma-separated stub indices and inclusive
+/// `A-B` index ranges (so a 100-slave campaign over a 2,000-stub fleet
+/// doesn't need a 100-entry list).
 fn parse_attackers(raw: &str, stubs: usize) -> Result<Vec<usize>, String> {
-    let indices: Vec<usize> = raw
-        .split(',')
-        .map(|part| {
-            part.trim()
-                .parse()
-                .map_err(|_| format!("invalid --attackers entry: {part}"))
-        })
-        .collect::<Result<_, _>>()?;
+    let mut indices = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        let bad = || format!("invalid --attackers entry: {part}");
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().map_err(|_| bad())?;
+                let hi: usize = hi.trim().parse().map_err(|_| bad())?;
+                if lo > hi {
+                    return Err(format!("empty --attackers range: {part}"));
+                }
+                indices.extend(lo..=hi);
+            }
+            None => indices.push(part.parse().map_err(|_| bad())?),
+        }
+    }
     if let Some(&bad) = indices.iter().find(|&&i| i >= stubs) {
         return Err(format!(
             "--attackers index {bad} outside the {stubs}-stub fleet"
@@ -945,8 +967,29 @@ fn parse_attackers(raw: &str, stubs: usize) -> Result<Vec<usize>, String> {
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["counts", "mitigate"])?;
     let stubs: usize = flags.parse_value("stubs", 4)?;
-    if stubs == 0 || stubs > 255 {
-        return Err("--stubs must be in 1..=255".into());
+    if stubs == 0 || stubs > 16_384 {
+        return Err("--stubs must be in 1..=16384".into());
+    }
+    let regions: Option<usize> = match flags.get("regions") {
+        Some(raw) => {
+            let regions: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid --regions: {raw}"))?;
+            if regions == 0 {
+                return Err("--regions must be positive".into());
+            }
+            Some(regions)
+        }
+        None => None,
+    };
+    // The correlated runner is count-level by construction; trace-level
+    // runs materialize full record streams and stay capped.
+    let counts = flags.has("counts") || regions.is_some();
+    if stubs > 255 && !counts {
+        return Err(
+            "trace-level fleets are capped at 255 stubs; add --counts (or --regions) to scale"
+                .into(),
+        );
     }
     let mut template = site_by_name(flags.get("site").unwrap_or("auckland"))?;
     if let Some(raw) = flags.get("site-minutes") {
@@ -995,17 +1038,70 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         fleet = fleet.with_parallelism(Parallelism::Fixed(jobs));
     }
     let metrics = Metrics::from_flags(&flags)?;
+    let label_budget: Option<usize> = match flags.get("label-budget") {
+        Some(raw) => {
+            let sets: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid --label-budget: {raw}"))?;
+            if sets == 0 {
+                return Err("--label-budget must be positive".into());
+            }
+            if !metrics.enabled() {
+                return Err("--label-budget needs --metrics".into());
+            }
+            Some(sets)
+        }
+        None => None,
+    };
     if metrics.enabled() {
-        fleet = fleet.with_telemetry(Arc::clone(metrics.hub()));
+        fleet = match label_budget {
+            Some(sets) => {
+                fleet.with_telemetry_budget(Arc::clone(metrics.hub()), LabelBudget::new(sets))
+            }
+            None => fleet.with_telemetry(Arc::clone(metrics.hub())),
+        };
     }
-    let report = if flags.has("counts") {
+    if let Some(regions) = regions {
+        // Internet-scale path: stream rows (spilling to --csv as stubs
+        // complete), correlate alarm onsets, print the campaign report
+        // instead of a per-stub table.
+        let config = CollectorConfig::with_regions(regions);
+        let mut csv_file = match flags.get("csv") {
+            Some(path) => Some(std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?,
+            )),
+            None => None,
+        };
+        let run = fleet
+            .run_counts_correlated(
+                &config,
+                csv_file.as_mut().map(|f| f as &mut dyn std::io::Write),
+            )
+            .map_err(|e| format!("correlated fleet run: {e}"))?;
+        print!("{}", run.render());
+        if let Some(mut file) = csv_file {
+            use std::io::Write as _;
+            file.flush().map_err(|e| format!("flush fleet CSV: {e}"))?;
+            println!("wrote fleet report to {}", flags.get("csv").expect("csv"));
+        }
+        return metrics.finish();
+    }
+    let report = if counts {
         fleet.run_counts()
     } else {
         fleet.run()
     };
     print!("{}", report.render());
     if let Some(path) = flags.get("csv") {
-        std::fs::write(path, report.to_csv()).map_err(|e| format!("write {path}: {e}"))?;
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        report
+            .write_csv(&mut out)
+            .and_then(|()| {
+                use std::io::Write as _;
+                out.flush()
+            })
+            .map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote fleet report to {path}");
     }
     metrics.finish()
@@ -1362,6 +1458,61 @@ mod tests {
         assert_eq!(parse_attackers("1, 3", 4).unwrap(), vec![1, 3]);
         assert!(parse_attackers("4", 4).is_err());
         assert!(parse_attackers("x", 4).is_err());
+    }
+
+    #[test]
+    fn attackers_parse_expands_ranges() {
+        assert_eq!(parse_attackers("2-5", 8).unwrap(), vec![2, 3, 4, 5]);
+        assert_eq!(
+            parse_attackers("0, 2-4, 7", 8).unwrap(),
+            vec![0, 2, 3, 4, 7]
+        );
+        assert!(parse_attackers("5-2", 8).is_err(), "reversed range");
+        assert!(parse_attackers("6-9", 8).is_err(), "range past the fleet");
+        assert!(parse_attackers("2-", 8).is_err());
+    }
+
+    #[test]
+    fn fleet_regions_runs_correlated_and_streams_csv() {
+        let csv = std::env::temp_dir().join("syndog_test_fleet_regions.csv");
+        let csv = csv.to_str().unwrap().to_string();
+        cmd_fleet(&args(&[
+            "--stubs",
+            "12",
+            "--attackers",
+            "2-5",
+            "--site",
+            "lbl",
+            "--site-minutes",
+            "20",
+            "--total-rate",
+            "12",
+            "--start",
+            "400",
+            "--attack-duration",
+            "400",
+            "--seed",
+            "31",
+            "--regions",
+            "3",
+            "--jobs",
+            "2",
+            "--csv",
+            &csv,
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&csv).unwrap();
+        assert!(written.starts_with("stub,prefix,"));
+        assert_eq!(written.lines().count(), 13, "header + one row per stub");
+        let _ = std::fs::remove_file(&csv);
+        // Correlated runs imply count-level, so big fleets need no --counts;
+        // trace-level past 255 stubs is rejected.
+        assert!(cmd_fleet(&args(&["--stubs", "300"])).is_err());
+        assert!(cmd_fleet(&args(&["--regions", "0"])).is_err());
+        assert!(
+            cmd_fleet(&args(&["--label-budget", "4"])).is_err(),
+            "label budget needs metrics"
+        );
     }
 
     #[test]

@@ -113,6 +113,30 @@ impl SynDogAgent {
         self
     }
 
+    /// Attaches *pre-registered* telemetry handles without touching the
+    /// registry. [`AgentTelemetry::with_labels`] takes the registry's
+    /// construction lock once per series; a fleet spinning up thousands
+    /// of agents inside its parallel runner must not pay (or serialize
+    /// on) that per stub, so the runner registers one bundle per label
+    /// set up-front and hands every agent a clone through here.
+    ///
+    /// `mitigation` should carry handles registered under the same
+    /// labels when this agent has an armed engine; it is ignored (not
+    /// registered later) when no engine is armed, mirroring
+    /// [`SynDogAgent::set_telemetry`]'s composition rules.
+    pub fn set_prepared_telemetry(
+        &mut self,
+        telemetry: AgentTelemetry,
+        mitigation: Option<MitigationTelemetry>,
+    ) {
+        self.telemetry = Some(telemetry);
+        self.mitigation_telemetry = if self.mitigation.is_some() {
+            mitigation
+        } else {
+            None
+        };
+    }
+
     /// Arms source-end mitigation: the agent gains a
     /// [`MitigationEngine`] that engages keyed SYN throttles when the
     /// detector's statistic crosses the threshold and releases them by

@@ -27,24 +27,40 @@
 //! cross-check tree uses the dedicated stream `u64::MAX`. [`derive_seed`]
 //! is a SplitMix64 mix, so streams are statistically independent and the
 //! whole fleet is a pure function of the master seed.
+//!
+//! # Memory model at scale
+//!
+//! The count-level paths are *streaming*: stub jobs return compact
+//! [`StubRow`]s (a report row plus alarm-episode onsets, no per-period
+//! state) that [`Fleet::fold_counts`] reduces strictly in stub-index
+//! order via [`run_indexed_fold`]. In-flight state is bounded by the
+//! worker count, not the fleet size, so one scenario can carry
+//! 1,000–10,000 stubs in O(stubs) memory. The trace-level [`Fleet::run`]
+//! and the detection-series-materializing
+//! [`Fleet::run_counts_with_detections`] are kept for small fleets only.
+//! The correlation tier above this module lives in [`crate::correlate`].
 
+use std::collections::HashMap;
+use std::io::{self, Write};
 use std::net::{Ipv4Addr, SocketAddrV4};
 use std::sync::Arc;
 
 use syndog::{Detection, DetectorKind, PeriodSignals, SynDogConfig};
 use syndog_attack::{DdosCampaign, SynFlood};
 use syndog_net::{Ipv4Net, MacAddr, SegmentKind};
-use syndog_sim::par::{run_indexed, Parallelism};
+use syndog_sim::par::{run_indexed, run_indexed_fold, Parallelism};
 use syndog_sim::{SimRng, SimTime};
-use syndog_telemetry::Telemetry;
+use syndog_telemetry::{LabelBudget, LabelMode, Telemetry};
 use syndog_traceback::{AttackPath, RouterId};
 use syndog_traffic::sites::{SiteProfile, OBSERVATION_PERIOD};
 use syndog_traffic::trace::{Direction, Trace};
 
 use crate::agent::SynDogAgent;
+use crate::correlate::AlarmOnset;
 use crate::faults::FaultSpec;
 use crate::locate::{SourceLocator, Suspect};
 use crate::mitigate::MitigationPolicy;
+use crate::telemetry::{AgentTelemetry, MitigationTelemetry};
 
 /// Derives an independent seed for stream `stream` of a master seed
 /// (SplitMix64 finalizer over `master + (stream + 1)·γ`). Pure, so fleet
@@ -56,8 +72,10 @@ pub fn derive_seed(master: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// The derived-stream index of the topology cross-check tree.
-const TOPOLOGY_STREAM: u64 = u64::MAX;
+/// The derived-stream index of the topology cross-check tree (shared
+/// with the [`crate::correlate`] tier, which cross-checks campaigns
+/// against the same tree).
+pub(crate) const TOPOLOGY_STREAM: u64 = u64::MAX;
 
 /// One stub network in a scenario: a name, a workload, and optionally a
 /// flooding source planted inside it.
@@ -154,16 +172,40 @@ impl Scenario {
         scenario
     }
 
-    /// The synthetic CIDR prefix fleet stub `index` is homed in:
-    /// `128.<index>.0.0/16` (public-routable space, so the ingress-filter
-    /// spoof test keeps working).
+    /// The synthetic CIDR prefix fleet stub `index` is homed in
+    /// (public-routable space, so the ingress-filter spoof test keeps
+    /// working). The first 256 stubs keep the historical
+    /// `128.<index>.0.0/16` homes — byte-compatible with every existing
+    /// report — and Internet-scale fleets continue into disjoint /20
+    /// blocks carved from `129.0.0.0/8` upward (4,096 per /8, stopping
+    /// before the `169.254.0.0/16` link-local neighborhood): ~164k stubs
+    /// total. A /20 holds 4,094 hosts, enough for every built-in profile
+    /// except UNC (35,000 hosts) — which still runs *count-level*, since
+    /// period counts never materialize host addresses.
     ///
     /// # Panics
     ///
-    /// Panics if `index > 255`.
+    /// Panics if `index >= 164_096` (the routable pool is exhausted).
     pub fn fleet_prefix(index: usize) -> Ipv4Net {
-        assert!(index <= 255, "fleet prefix index {index} exceeds 255");
-        Ipv4Net::new(Ipv4Addr::new(128, index as u8, 0, 0), 16)
+        if index <= 255 {
+            return Ipv4Net::new(Ipv4Addr::new(128, index as u8, 0, 0), 16);
+        }
+        let block = index - 256;
+        let octet = 129 + block / 4096;
+        assert!(
+            octet <= 168,
+            "fleet prefix index {index} exhausts the routable pool"
+        );
+        let within = block % 4096;
+        Ipv4Net::new(
+            Ipv4Addr::new(
+                octet as u8,
+                (within / 16) as u8,
+                ((within % 16) * 16) as u8,
+                0,
+            ),
+            20,
+        )
     }
 
     /// `count` clean stubs all running the same workload template,
@@ -175,6 +217,11 @@ impl Scenario {
         config: SynDogConfig,
         master_seed: u64,
     ) -> Self {
+        // Fleet site-ids live in 0x100..0xFF00 of the u16 MAC namespace
+        // (below the 0xff00+ DDoS-slave block); past it, trace-level host
+        // MACs would collide across stubs. Count-level runs never mint
+        // host MACs, but the cap keeps the invariant simple.
+        assert!(count <= 0xFE00, "uniform fleet exceeds the MAC namespace");
         let mut scenario = Scenario::new(name, config, master_seed);
         for i in 0..count {
             // Site-id namespace 0x100+ keeps fleet host MACs clear of both
@@ -280,6 +327,19 @@ pub struct Fleet {
     scenario: Scenario,
     parallelism: Parallelism,
     telemetry: Option<Arc<Telemetry>>,
+    label_budget: Option<LabelBudget>,
+}
+
+/// Pre-registered telemetry bundles: one per distinct label set, fanned
+/// out to stubs by index. Building this takes the registry construction
+/// lock once per label set — *before* the parallel runner starts —
+/// and handing agents clones of the `Arc` handles takes none, so a
+/// 10k-stub fleet neither serializes on nor pays registration per stub.
+#[derive(Debug, Clone)]
+struct PreparedTelemetry {
+    /// Stub index → bundle index.
+    assignment: Vec<usize>,
+    bundles: Vec<(AgentTelemetry, Option<MitigationTelemetry>)>,
 }
 
 impl Fleet {
@@ -289,6 +349,7 @@ impl Fleet {
             scenario,
             parallelism: Parallelism::Auto,
             telemetry: None,
+            label_budget: None,
         }
     }
 
@@ -310,9 +371,86 @@ impl Fleet {
         self
     }
 
+    /// Attaches a shared telemetry hub *with a label-cardinality
+    /// budget*. While the fleet fits the budget every agent keeps its
+    /// own `stub="<cidr>"` series exactly as [`Fleet::with_telemetry`];
+    /// past it, agents share per-region rollup series labelled
+    /// `region="r<k>"` (contiguous stub-index blocks — the same blocks
+    /// the [`crate::correlate`] tier uses), and the correlated runner
+    /// additionally publishes a bounded top-K spotlight of alarmed
+    /// stubs. Per-stub labels at 10k stubs are a cardinality bomb; this
+    /// is the pressure valve.
+    #[must_use]
+    pub fn with_telemetry_budget(mut self, hub: Arc<Telemetry>, budget: LabelBudget) -> Self {
+        self.telemetry = Some(hub);
+        self.label_budget = Some(budget);
+        self
+    }
+
+    /// The label budget, if one was attached.
+    pub fn label_budget(&self) -> Option<LabelBudget> {
+        self.label_budget
+    }
+
     /// The scenario this runner executes.
     pub fn scenario(&self) -> &Scenario {
         &self.scenario
+    }
+
+    /// Registers every label set the run will report under — one bundle
+    /// per distinct set, deduplicated — so agent construction inside the
+    /// parallel runner never touches the registry lock. Returns `None`
+    /// when no hub is attached.
+    fn prepare_telemetry(&self) -> Option<PreparedTelemetry> {
+        let hub = self.telemetry.as_ref()?;
+        let stubs = self.scenario.stubs.len();
+        let mode = self
+            .label_budget
+            .map_or(LabelMode::PerItem, |budget| budget.mode(stubs));
+        let detector = self.scenario.detector.name();
+        let mitigated = self.scenario.mitigation.is_some();
+        let mut assignment = Vec::with_capacity(stubs);
+        let mut by_value: HashMap<String, usize> = HashMap::new();
+        let mut bundles = Vec::new();
+        for index in 0..stubs {
+            let (key, value) = match mode.group_of(index) {
+                Some(group) => ("region", format!("r{group}")),
+                None => ("stub", self.scenario.stubs[index].stub().to_string()),
+            };
+            let bundle = *by_value.entry(value.clone()).or_insert_with(|| {
+                let labels = [(key, value.as_str()), ("detector", detector)];
+                let agent = AgentTelemetry::with_labels(Arc::clone(hub), &labels);
+                let mitigation = mitigated.then(|| MitigationTelemetry::with_labels(hub, &labels));
+                bundles.push((agent, mitigation));
+                bundles.len() - 1
+            });
+            assignment.push(bundle);
+        }
+        Some(PreparedTelemetry {
+            assignment,
+            bundles,
+        })
+    }
+
+    /// Publishes fleet-level rollup gauges after a fold: fleet size, how
+    /// many stubs the run implicated, and an item-granular spotlight for
+    /// the top alarmed stubs — the only per-stub labels a budgeted run
+    /// emits.
+    pub(crate) fn publish_fleet_gauges(&self, implicated: u64, top: &[(Ipv4Net, f64)]) {
+        let Some(hub) = &self.telemetry else { return };
+        let registry = hub.registry();
+        registry
+            .gauge("syndog_fleet_stubs")
+            .set(self.scenario.stubs.len() as f64);
+        registry
+            .gauge("syndog_fleet_implicated_stubs")
+            .set(implicated as f64);
+        for (prefix, rate) in top {
+            let stub = prefix.to_string();
+            registry
+                .gauge_with("syndog_fleet_top_stub_rate", &[("stub", &stub)])
+                .set(*rate);
+        }
     }
 
     /// Trace-level run: full record streams with addresses and MACs
@@ -320,8 +458,10 @@ impl Fleet {
     /// from the first alarm to the end of the trace — so implicated stubs
     /// also name the suspect MAC.
     pub fn run(&self) -> FleetReport {
+        let prepared = self.prepare_telemetry();
+        let prepared = prepared.as_ref();
         let stubs = run_indexed(self.scenario.stubs.len(), self.parallelism, |i| {
-            self.run_stub_trace(i)
+            self.run_stub_trace(i, prepared)
         });
         self.report(stubs)
     }
@@ -331,21 +471,54 @@ impl Fleet {
     /// and fault injection (a record-stream concept) is not applied. Bins
     /// at the paper's [`OBSERVATION_PERIOD`], like every count-level
     /// experiment.
+    ///
+    /// This path streams: stub rows are folded in index order and no
+    /// per-stub detection series is ever materialized, so it carries
+    /// thousand-stub scenarios in O(stubs) memory. Small fleets that
+    /// need the `y_n` series use
+    /// [`Fleet::run_counts_with_detections`].
     pub fn run_counts(&self) -> FleetReport {
-        let (report, _) = self.run_counts_with_detections();
-        report
+        let stubs = self.fold_counts(
+            Vec::with_capacity(self.scenario.stubs.len()),
+            |rows: &mut Vec<StubReport>, row| rows.push(row.report),
+        );
+        self.report(stubs)
+    }
+
+    /// Count-level streaming run: executes every stub and folds its
+    /// compact [`StubRow`] into `acc` strictly in stub-index order (so
+    /// the result is byte-identical for any worker count). Peak memory
+    /// is the accumulator plus in-flight per-stub state bounded by the
+    /// worker count — this is the path that carries 1,000–10,000-stub
+    /// scenarios. The correlation tier ([`crate::correlate`]) and the
+    /// spill-to-CSV writer both build on it.
+    pub fn fold_counts<A>(&self, acc: A, mut fold: impl FnMut(&mut A, StubRow)) -> A {
+        let prepared = self.prepare_telemetry();
+        let prepared = prepared.as_ref();
+        run_indexed_fold(
+            self.scenario.stubs.len(),
+            self.parallelism,
+            |i| self.run_stub_counts(i, false, prepared).0,
+            acc,
+            |acc, _, row| fold(acc, row),
+        )
     }
 
     /// [`Fleet::run_counts`], also returning each stub's full per-period
-    /// [`Detection`] series (the `y_n` plots the bench experiments draw).
+    /// [`Detection`] series (the `y_n` plots the bench experiments
+    /// draw). This is the **small-fleet** path kept for experiments: it
+    /// materializes `stubs × periods` detections, which is exactly what
+    /// the streaming paths exist to avoid.
     pub fn run_counts_with_detections(&self) -> (FleetReport, Vec<Vec<Detection>>) {
+        let prepared = self.prepare_telemetry();
+        let prepared = prepared.as_ref();
         let results = run_indexed(self.scenario.stubs.len(), self.parallelism, |i| {
-            self.run_stub_counts(i)
+            self.run_stub_counts(i, true, prepared)
         });
         let mut stubs = Vec::with_capacity(results.len());
         let mut detections = Vec::with_capacity(results.len());
-        for (report, series) in results {
-            stubs.push(report);
+        for (row, series) in results {
+            stubs.push(row.report);
             detections.push(series);
         }
         (self.report(stubs), detections)
@@ -359,14 +532,18 @@ impl Fleet {
         }
     }
 
-    fn new_agent(&self, spec: &StubSpec) -> SynDogAgent {
+    fn new_agent(&self, index: usize, prepared: Option<&PreparedTelemetry>) -> SynDogAgent {
+        let spec = &self.scenario.stubs[index];
         let detector = self.scenario.detector.build(self.scenario.config);
         let mut agent = SynDogAgent::with_detector(spec.stub(), detector);
-        if let Some(hub) = &self.telemetry {
-            agent.set_stub_telemetry(Arc::clone(hub));
-        }
         if let Some(policy) = self.scenario.mitigation {
             agent.set_mitigation(policy);
+        }
+        // Telemetry handles were registered up-front (one bundle per
+        // label set); attaching a clone here takes no lock.
+        if let Some(prepared) = prepared {
+            let (telemetry, mitigation) = prepared.bundles[prepared.assignment[index]].clone();
+            agent.set_prepared_telemetry(telemetry, mitigation);
         }
         agent
     }
@@ -386,10 +563,10 @@ impl Fleet {
         }
     }
 
-    fn run_stub_trace(&self, index: usize) -> StubReport {
+    fn run_stub_trace(&self, index: usize, prepared: Option<&PreparedTelemetry>) -> StubReport {
         let spec = &self.scenario.stubs[index];
         let trace = self.stub_trace(index);
-        let mut agent = self.new_agent(spec);
+        let mut agent = self.new_agent(index, prepared);
         let period = agent.router().period();
         // Square off to ceil(duration / t0) periods, the same envelope
         // `LeafRouter::ingest` uses, so the mitigated streaming path and
@@ -450,7 +627,19 @@ impl Fleet {
         StubReport::from_run(spec, &agent, suspect, rates)
     }
 
-    fn run_stub_counts(&self, index: usize) -> (StubReport, Vec<Detection>) {
+    /// One stub's count-level job. Generates the period counts, drives
+    /// the detector, tracks alarm-*episode* rising edges inline (the same
+    /// open/close semantics as [`crate::episodes::extract_episodes`],
+    /// without retaining the per-period series), and returns a compact
+    /// [`StubRow`]. The full [`Detection`] series is materialized only
+    /// when `keep_detections` is set — the streaming paths pass `false`
+    /// and get an empty vector back.
+    fn run_stub_counts(
+        &self,
+        index: usize,
+        keep_detections: bool,
+        prepared: Option<&PreparedTelemetry>,
+    ) -> (StubRow, Vec<Detection>) {
         let spec = &self.scenario.stubs[index];
         let mut rng = SimRng::seed_from_u64(self.scenario.stub_seed(index));
         let mut counts = spec.site.generate_period_counts(&mut rng);
@@ -460,36 +649,65 @@ impl Fleet {
                 c.merge(*f);
             }
         }
-        let mut agent = self.new_agent(spec);
+        let mut agent = self.new_agent(index, prepared);
+        let period_secs = OBSERVATION_PERIOD.as_secs_f64();
         let mut forwarded_syns = Vec::with_capacity(counts.len());
-        let detections = counts
-            .into_iter()
-            .map(|sample| {
-                // Count-level runs carry only the handshake pair; the
-                // FIN/RST terms are zero (the fin-pair strategy needs the
-                // trace-level record path for those).
-                let detection = agent.observe_period(PeriodSignals {
-                    syn: sample.syn,
-                    synack: sample.synack,
-                    fin: 0,
-                    rst: 0,
+        let mut detections = Vec::with_capacity(if keep_detections { counts.len() } else { 0 });
+        let mut onsets = Vec::new();
+        // Episode tracking, mirroring `extract_episodes`: an episode opens
+        // at the first alarming period while none is active, is charged to
+        // the last period the statistic sat at zero, and closes once the
+        // statistic drains back to zero.
+        let mut in_episode = false;
+        let mut last_zero: Option<u64> = None;
+        for sample in counts {
+            // Count-level runs carry only the handshake pair; the
+            // FIN/RST terms are zero (the fin-pair strategy needs the
+            // trace-level record path for those).
+            let detection = agent.observe_period(PeriodSignals {
+                syn: sample.syn,
+                synack: sample.synack,
+                fin: 0,
+                rst: 0,
+            });
+            // Count-level shedding: no per-record attribution exists
+            // here, so while engaged the engine cuts the aggregate
+            // SYN excess over `K̄ + allowance`.
+            let shed = agent
+                .mitigation_mut()
+                .map_or(0, |engine| engine.count_throttle(&detection, sample.syn));
+            forwarded_syns.push(sample.syn - shed);
+            if in_episode {
+                if detection.statistic == 0.0 {
+                    in_episode = false;
+                }
+            } else if detection.alarm {
+                in_episode = true;
+                onsets.push(AlarmOnset {
+                    stub: index,
+                    onset_period: last_zero.unwrap_or(0),
+                    alarm_period: detection.period,
+                    est_rate: (detection.delta / period_secs).max(0.0),
                 });
-                // Count-level shedding: no per-record attribution exists
-                // here, so while engaged the engine cuts the aggregate
-                // SYN excess over `K̄ + allowance`.
-                let shed = agent
-                    .mitigation_mut()
-                    .map_or(0, |engine| engine.count_throttle(&detection, sample.syn));
-                forwarded_syns.push(sample.syn - shed);
-                detection
-            })
-            .collect();
+            }
+            if detection.statistic == 0.0 {
+                last_zero = Some(detection.period);
+            }
+            if keep_detections {
+                detections.push(detection);
+            }
+        }
         let rates = victim_rates(
             &forwarded_syns,
             agent.first_alarm().map(|a| a.period),
-            OBSERVATION_PERIOD.as_secs_f64(),
+            period_secs,
         );
-        (StubReport::from_run(spec, &agent, None, rates), detections)
+        let row = StubRow {
+            index,
+            report: StubReport::from_run(spec, &agent, None, rates),
+            onsets,
+        };
+        (row, detections)
     }
 }
 
@@ -517,6 +735,21 @@ fn victim_rates(forwarded_syns: &[u64], first_alarm: Option<u64>, period_secs: f
         }
         _ => (whole, whole),
     }
+}
+
+/// One stub's compact count-level result: everything the streaming fold
+/// paths carry per stub. Deliberately O(1) in the period count — a report
+/// row plus the alarm-episode onsets (a handful per run), never the
+/// per-period detection series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StubRow {
+    /// The stub's index in the scenario.
+    pub index: usize,
+    /// The stub's report row.
+    pub report: StubReport,
+    /// Rising-edge alarm onsets (one per episode), in period order — the
+    /// edges the [`crate::correlate`] collectors subscribe to.
+    pub onsets: Vec<AlarmOnset>,
 }
 
 /// One stub's row in the fleet report.
@@ -636,7 +869,51 @@ impl StubReport {
             victim_syn_rate_after: victim_rates.1,
         }
     }
+
+    /// Writes this row in the fleet CSV format (byte-identical to the
+    /// corresponding [`FleetReport::to_csv`] line). Streaming folds call
+    /// this per stub so a 10k-row table goes straight to disk.
+    pub fn write_csv_row(&self, out: &mut dyn Write) -> io::Result<()> {
+        let opt = |v: Option<u64>| v.map_or(String::new(), |v| v.to_string());
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{:.6},{:.6}",
+            self.name,
+            self.stub,
+            self.periods,
+            self.attacked,
+            self.attack_rate,
+            opt(self.attack_start_period),
+            self.implicated,
+            opt(self.first_alarm_period),
+            self.first_alarm_secs
+                .map_or(String::new(), |t| format!("{t:.3}")),
+            opt(self.detection_delay_periods),
+            self.false_alarm_periods,
+            self.suspect_mac.map_or(String::new(), |m| m.to_string()),
+            self.suspect_share,
+            self.suspect_is_attacker
+                .map_or(String::new(), |b| b.to_string()),
+            self.mitigated,
+            opt(self.engaged_period),
+            opt(self.release_period),
+            self.throttled_syns,
+            self.collateral_syns,
+            self.attack_syns_offered,
+            self.attack_syns_forwarded,
+            self.victim_syn_rate_before,
+            self.victim_syn_rate_after,
+        )
+    }
 }
+
+/// Header line of the fleet CSV (shared by the in-memory and streaming
+/// writers).
+const CSV_HEADER: &str = "stub,prefix,periods,attacked,attack_rate,attack_start_period,implicated,\
+     first_alarm_period,first_alarm_secs,detection_delay_periods,false_alarm_periods,\
+     suspect_mac,suspect_share,suspect_is_attacker,mitigated,engaged_period,\
+     release_period,throttled_syns,collateral_syns,attack_syns_offered,\
+     attack_syns_forwarded,victim_syn_rate_before,victim_syn_rate_after\n";
 
 /// The fleet's cross-check against `syndog-traceback` topology
 /// localization: the leaf routers the report implicates vs the leaf
@@ -771,48 +1048,32 @@ impl FleetReport {
         out
     }
 
+    /// Writes the CSV header row ([`StubReport::write_csv_row`] rows
+    /// follow it). Split out so the streaming fold paths can spill rows
+    /// to a writer as stubs complete, never holding the table in memory.
+    pub fn write_csv_header(out: &mut dyn Write) -> io::Result<()> {
+        out.write_all(CSV_HEADER.as_bytes())
+    }
+
     /// The report as CSV (one row per stub), byte-stable like
-    /// [`FleetReport::render`].
+    /// [`FleetReport::render`]. Convenience wrapper over
+    /// [`FleetReport::write_csv`] for small fleets; scale paths stream
+    /// rows instead.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "stub,prefix,periods,attacked,attack_rate,attack_start_period,implicated,\
-             first_alarm_period,first_alarm_secs,detection_delay_periods,false_alarm_periods,\
-             suspect_mac,suspect_share,suspect_is_attacker,mitigated,engaged_period,\
-             release_period,throttled_syns,collateral_syns,attack_syns_offered,\
-             attack_syns_forwarded,victim_syn_rate_before,victim_syn_rate_after\n",
-        );
-        let opt = |v: Option<u64>| v.map_or(String::new(), |v| v.to_string());
+        let mut out = Vec::new();
+        self.write_csv(&mut out)
+            .expect("Vec<u8> writes are infallible");
+        String::from_utf8(out).expect("CSV rows are ASCII")
+    }
+
+    /// Streams the report as CSV into `out` — header then one row per
+    /// stub, byte-identical to [`FleetReport::to_csv`].
+    pub fn write_csv(&self, out: &mut dyn Write) -> io::Result<()> {
+        FleetReport::write_csv_header(out)?;
         for s in &self.stubs {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{:.6},{:.6}\n",
-                s.name,
-                s.stub,
-                s.periods,
-                s.attacked,
-                s.attack_rate,
-                opt(s.attack_start_period),
-                s.implicated,
-                opt(s.first_alarm_period),
-                s.first_alarm_secs
-                    .map_or(String::new(), |t| format!("{t:.3}")),
-                opt(s.detection_delay_periods),
-                s.false_alarm_periods,
-                s.suspect_mac.map_or(String::new(), |m| m.to_string()),
-                s.suspect_share,
-                s.suspect_is_attacker
-                    .map_or(String::new(), |b| b.to_string()),
-                s.mitigated,
-                opt(s.engaged_period),
-                opt(s.release_period),
-                s.throttled_syns,
-                s.collateral_syns,
-                s.attack_syns_offered,
-                s.attack_syns_forwarded,
-                s.victim_syn_rate_before,
-                s.victim_syn_rate_after,
-            ));
+            s.write_csv_row(out)?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -834,14 +1095,94 @@ mod tests {
 
     #[test]
     fn fleet_prefixes_are_disjoint_and_routable() {
-        for i in 0..8 {
+        // Sample across both regimes: the historical /16s (≤255) and the
+        // /20 blocks the Internet-scale fleet continues into, including
+        // the boundaries where the carving rolls over.
+        let samples = [
+            0usize, 1, 7, 255, 256, 257, 300, 4351, 4352, 8447, 8448, 20_000, 164_095,
+        ];
+        for &i in &samples {
             let net = Scenario::fleet_prefix(i);
-            assert!(net.contains(net.host(1)));
-            for j in 0..8 {
+            assert!(net.contains(net.host(1)), "stub {i} prefix {net}");
+            for &j in &samples {
                 if i != j {
-                    assert!(!net.contains(Scenario::fleet_prefix(j).host(1)));
+                    assert!(
+                        !net.contains(Scenario::fleet_prefix(j).host(1)),
+                        "stub {i} ({net}) overlaps stub {j} ({})",
+                        Scenario::fleet_prefix(j)
+                    );
                 }
             }
+        }
+        // First 256 stay byte-compatible with every existing report.
+        assert_eq!(Scenario::fleet_prefix(9).to_string(), "128.9.0.0/16");
+        // The scale regime is /20s from 129/8 upward.
+        assert_eq!(Scenario::fleet_prefix(256).to_string(), "129.0.0.0/20");
+        assert_eq!(Scenario::fleet_prefix(4352).to_string(), "130.0.0.0/20");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausts the routable pool")]
+    fn fleet_prefix_panics_past_the_routable_pool() {
+        let _ = Scenario::fleet_prefix(164_096);
+    }
+
+    #[test]
+    fn stub_jobs_do_not_register_series() {
+        // Satellite 6's regression: registration happens entirely in
+        // prepare_telemetry; executing stub jobs must not grow the
+        // registry (i.e. never touch its construction lock).
+        let scenario = Scenario::uniform(
+            "prep",
+            &SiteProfile::lbl(),
+            3,
+            SynDogConfig::paper_default(),
+            7,
+        );
+        let hub = Arc::new(Telemetry::new());
+        let fleet = Fleet::new(scenario).with_telemetry(Arc::clone(&hub));
+        let prepared = fleet.prepare_telemetry();
+        let registered = hub.registry().series_count();
+        assert!(registered > 0, "prepare registers the bundles");
+        for index in 0..3 {
+            let _ = fleet.run_stub_counts(index, false, prepared.as_ref());
+        }
+        assert_eq!(
+            hub.registry().series_count(),
+            registered,
+            "stub jobs must not register series"
+        );
+    }
+
+    #[test]
+    fn label_budget_caps_series_cardinality() {
+        let template = SiteProfile::lbl().with_duration(syndog_sim::SimDuration::from_secs(600));
+        let scenario = Scenario::uniform("budget", &template, 24, SynDogConfig::paper_default(), 7);
+        let hub = Arc::new(Telemetry::new());
+        let report = Fleet::new(scenario)
+            .with_telemetry_budget(Arc::clone(&hub), LabelBudget::new(4))
+            .run_counts();
+        assert_eq!(report.stubs.len(), 24);
+        let snapshot = hub.snapshot();
+        let alarm_sets: Vec<_> = snapshot
+            .counters
+            .iter()
+            .filter(|m| m.name == "syndog_alarms_total")
+            .collect();
+        assert_eq!(alarm_sets.len(), 4, "24 stubs roll up into 4 region sets");
+        for m in &alarm_sets {
+            assert!(
+                m.labels
+                    .iter()
+                    .any(|(k, v)| k == "region" && v.starts_with('r')),
+                "rollup series carry region labels: {:?}",
+                m.labels
+            );
+            assert!(
+                m.labels.iter().all(|(k, _)| k != "stub"),
+                "budgeted runs register no per-stub labels: {:?}",
+                m.labels
+            );
         }
     }
 

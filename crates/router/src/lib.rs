@@ -33,7 +33,14 @@
 //!   for: a declarative [`Scenario`] of stub networks (each with its own
 //!   workload and optional flooding slave) run by a [`Fleet`] of agents on
 //!   a deterministic thread scope, reporting per-stub alarms, delays and
-//!   localization cross-checked against `syndog-traceback` topology,
+//!   localization cross-checked against `syndog-traceback` topology; the
+//!   count-level paths stream compact rows so fleets scale to thousands
+//!   of stubs in O(stubs) memory,
+//! - [`correlate`] — the hierarchical tier above the fleet: regional
+//!   collectors subscribe to leaf alarm-onset edges, cluster them in
+//!   time, and reconstruct a distributed flood's [`CampaignReport`] —
+//!   the master/slave stub sets a per-stub table cannot show — verified
+//!   against the same traceback topology,
 //! - [`faults`] — deterministic, seeded fault injection
 //!   ([`FaultInjector`]) composing onto any [`FrameSource`], for proving
 //!   detection degrades gracefully under loss / reordering / corruption,
@@ -51,6 +58,7 @@
 pub mod agent;
 pub mod checkpoint;
 pub mod concurrent;
+pub mod correlate;
 pub mod episodes;
 pub mod faults;
 pub mod fleet;
@@ -64,9 +72,15 @@ pub mod telemetry;
 pub use agent::{Alarm, SynDogAgent};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use concurrent::{ConcurrentSynDog, OverflowPolicy, MAX_SHARDS};
+pub use correlate::{
+    AlarmOnset, Campaign, CampaignMember, CampaignReport, CollectorConfig, CorrelatedRun,
+    FleetCorrelator, RegionalCollector,
+};
 pub use episodes::{extract_episodes, AttackEpisode};
 pub use faults::{FaultInjector, FaultLedger, FaultSpec};
-pub use fleet::{derive_seed, Fleet, FleetReport, Scenario, StubReport, StubSpec, TopologyCheck};
+pub use fleet::{
+    derive_seed, Fleet, FleetReport, Scenario, StubReport, StubRow, StubSpec, TopologyCheck,
+};
 pub use locate::SourceLocator;
 pub use mitigate::{
     MitigationDecision, MitigationEngine, MitigationPolicy, MitigationState, MitigationStats,

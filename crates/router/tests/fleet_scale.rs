@@ -1,0 +1,142 @@
+//! Internet-scale fleet acceptance: the streaming count-level fold and
+//! the hierarchical correlation tier.
+//!
+//! The claims under test (the tentpole of the scale refactor):
+//!
+//! 1. **Determinism** — at 1,000 stubs the campaign report and the fleet
+//!    CSV are byte-identical at any worker count, because the fold
+//!    consumes rows strictly in stub-index order.
+//! 2. **Reconstruction** — a 2,000-stub distributed flood whose every
+//!    slave stays below a single big vantage's `f_min` is reconstructed
+//!    as exactly one campaign: all attacked stubs implicated, zero false
+//!    implications, topology cross-check MATCH.
+//! 3. **Invariance** — collector clustering does not depend on the order
+//!    alarm edges arrive in (stub-index permutations included).
+
+use proptest::prelude::*;
+use syndog::SynDogConfig;
+use syndog_router::{AlarmOnset, CollectorConfig, Fleet, FleetCorrelator, Scenario};
+use syndog_sim::par::Parallelism;
+use syndog_sim::{SimDuration, SimTime};
+use syndog_traffic::SiteProfile;
+
+fn victim() -> std::net::SocketAddrV4 {
+    "192.0.2.80:80".parse().unwrap()
+}
+
+/// A distributed-flood scenario sized for CI: `stubs` LBL workloads,
+/// `attacked_every`-th stub hosting a slave, each slave far below the
+/// ~37 SYN/s a UNC-scale single vantage needs.
+fn scale_scenario(stubs: usize, attacked_every: usize, seed: u64) -> Scenario {
+    let template = SiteProfile::lbl().with_duration(SimDuration::from_secs(1_800));
+    let attacked: Vec<usize> = (0..stubs).step_by(attacked_every).collect();
+    let per_slave = 6.0;
+    Scenario::distributed_flood(
+        "scale",
+        &template,
+        stubs,
+        &attacked,
+        per_slave * attacked.len() as f64,
+        SimTime::from_secs(600),
+        victim(),
+        SynDogConfig::paper_default(),
+        seed,
+    )
+}
+
+#[test]
+fn thousand_stub_campaign_report_is_byte_identical_at_any_worker_count() {
+    let config = CollectorConfig::with_regions(8);
+    let outputs: Vec<(String, String)> = [1usize, 2, 8]
+        .iter()
+        .map(|&jobs| {
+            let fleet = Fleet::new(scale_scenario(1_000, 25, 42))
+                .with_parallelism(Parallelism::Fixed(jobs));
+            let mut csv = Vec::new();
+            let run = fleet
+                .run_counts_correlated(&config, Some(&mut csv))
+                .expect("in-memory spill");
+            (run.render(), String::from_utf8(csv).unwrap())
+        })
+        .collect();
+    for (render, csv) in &outputs[1..] {
+        assert_eq!(render, &outputs[0].0, "campaign report depends on --jobs");
+        assert_eq!(csv, &outputs[0].1, "fleet CSV depends on --jobs");
+    }
+    assert_eq!(
+        outputs[0].1.lines().count(),
+        1_001,
+        "header + one row per stub"
+    );
+}
+
+#[test]
+fn two_thousand_stub_distributed_flood_reconstructs_exactly() {
+    let fleet = Fleet::new(scale_scenario(2_000, 20, 7));
+    let run = fleet
+        .run_counts_correlated(&CollectorConfig::with_regions(8), None)
+        .expect("no CSV writer");
+    assert_eq!(run.stubs, 2_000);
+    assert_eq!(run.attacked, 100, "ground truth: 100 slaves");
+    assert_eq!(
+        run.implicated, 100,
+        "every slave implicated, no clean stub falsely accused"
+    );
+    let report = &run.report;
+    assert!(report.exact_reconstruction(), "{}", report.render());
+    assert_eq!(report.campaigns.len(), 1, "one master, one campaign");
+    let campaign = &report.campaigns[0];
+    assert_eq!(campaign.members.len(), 100);
+    assert_eq!(campaign.regions, 8, "slaves span every region");
+    assert!(report.topology_cross_check().matches());
+    let rendered = run.render();
+    assert!(rendered.contains("CAMPAIGN 1:"));
+    assert!(rendered.contains("campaign reconstruction: EXACT"));
+    assert!(rendered.contains("campaign topology cross-check: MATCH"));
+    // The top-K spotlight is bounded and names only implicated stubs.
+    assert_eq!(run.top.len(), CollectorConfig::default().top_k);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Collector clustering is a pure function of the onset *set*:
+    /// permuting the arrival order (and hence which worker/stub order
+    /// delivered the edges) never changes the campaign report.
+    #[test]
+    fn clustering_is_invariant_under_onset_permutation(
+        onsets in proptest::collection::vec(
+            (0usize..64, 0u64..120, 0.5f64..20.0),
+            1..40,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let build = |order: &[(usize, u64, f64)]| {
+            let mut correlator =
+                FleetCorrelator::new(CollectorConfig::with_regions(4), 64);
+            for &(stub, onset_period, est_rate) in order {
+                correlator.observe_onset(AlarmOnset {
+                    stub,
+                    onset_period,
+                    alarm_period: onset_period + 3,
+                    est_rate,
+                });
+            }
+            correlator.finish("perm", 11)
+        };
+        let forward = build(&onsets);
+        let mut shuffled = onsets.clone();
+        // Deterministic Fisher–Yates driven by the proptest seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let permuted = build(&shuffled);
+        prop_assert_eq!(forward.render(), permuted.render());
+        prop_assert_eq!(forward, permuted);
+    }
+}

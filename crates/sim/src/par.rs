@@ -11,7 +11,9 @@
 //! `--jobs N` flag without threading a parallelism value through every call
 //! site.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Process-wide cap on worker threads; `0` means "no cap".
 static MAX_JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -112,6 +114,88 @@ where
         .collect()
 }
 
+/// Runs `job(i)` for every `i in 0..n` like [`run_indexed`], but reduces
+/// the results through `fold` — called strictly in index order — instead
+/// of collecting them into a `Vec`.
+///
+/// This is the streaming counterpart for callers that only need an
+/// aggregate (or spill results to a writer as they arrive): peak memory is
+/// the accumulator plus a reorder buffer holding results that finished
+/// ahead of the next index to fold — proportional to scheduling skew
+/// (≈ the worker count for uniform jobs), never `n`. Determinism is the
+/// same as [`run_indexed`]'s: `fold` sees `(acc, 0, job(0))`,
+/// `(acc, 1, job(1))`, … regardless of which worker computed what.
+pub fn run_indexed_fold<T, A, F, G>(
+    n: usize,
+    parallelism: Parallelism,
+    job: F,
+    mut acc: A,
+    mut fold: G,
+) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(&mut A, usize, T),
+{
+    let workers = parallelism.resolve().min(n.max(1));
+    if workers <= 1 {
+        for i in 0..n {
+            let value = job(i);
+            fold(&mut acc, i, value);
+        }
+        return acc;
+    }
+
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    let next = &next;
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // The receiver outlives the workers inside this scope;
+                    // a send can only fail if it panicked, and then the
+                    // scope propagates that panic anyway.
+                    if tx.send((i, job(i))).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        // The workers hold the only other senders; drop ours so the
+        // channel closes when they finish.
+        drop(tx);
+
+        // Reorder buffer: results arriving ahead of `expected` wait here
+        // until the contiguous prefix catches up.
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut expected = 0usize;
+        for (i, value) in rx {
+            pending.insert(i, value);
+            while let Some(value) = pending.remove(&expected) {
+                fold(&mut acc, expected, value);
+                expected += 1;
+            }
+        }
+        for handle in handles {
+            handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+        }
+        assert!(
+            expected == n && pending.is_empty(),
+            "every index folds exactly once"
+        );
+        acc
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +230,47 @@ mod tests {
         assert_eq!(Parallelism::Fixed(0).resolve(), 1);
         let out = run_indexed(5, Parallelism::Fixed(0), |i| i);
         assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fold_sees_indexes_in_order_for_any_worker_count() {
+        for workers in [1, 2, 8] {
+            let order = run_indexed_fold(
+                100,
+                Parallelism::Fixed(workers),
+                |i| i * 3,
+                Vec::new(),
+                |acc: &mut Vec<(usize, usize)>, i, v| acc.push((i, v)),
+            );
+            assert_eq!(
+                order,
+                (0..100).map(|i| (i, i * 3)).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_matches_collect_for_seeded_jobs() {
+        let job = |i: usize| {
+            let mut rng = crate::SimRng::seed_from_u64(0xF01D ^ i as u64);
+            (0..8).map(|_| rng.next_u32() as u64).sum::<u64>()
+        };
+        let collected: u64 = run_indexed(33, Parallelism::Fixed(4), job).iter().sum();
+        let folded = run_indexed_fold(33, Parallelism::Fixed(4), job, 0u64, |acc, _, v| *acc += v);
+        assert_eq!(collected, folded);
+    }
+
+    #[test]
+    fn fold_on_empty_input_returns_the_accumulator() {
+        let acc = run_indexed_fold(
+            0,
+            Parallelism::Fixed(4),
+            |_| unreachable!("no jobs to run"),
+            41,
+            |acc: &mut i32, _, _: ()| *acc += 1,
+        );
+        assert_eq!(acc, 41);
     }
 
     #[test]

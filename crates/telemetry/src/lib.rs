@@ -17,6 +17,11 @@
 //!   Lines and CSV over one shared [`Snapshot`] shape, plus a std-only
 //!   [`ScrapeServer`] HTTP endpoint.
 //!
+//! For fleet-scale deployments, [`budget`] adds label-cardinality
+//! control: a [`LabelBudget`] decides when per-item labels give way to
+//! grouped rollup series plus a bounded [`TopK`] spotlight, so a
+//! 10k-agent fleet cannot explode a scrape.
+//!
 //! [`Telemetry`] bundles one registry with one event log; the rest of
 //! the workspace shares it behind an `Arc`:
 //!
@@ -35,6 +40,7 @@
 //! assert!(exposition.contains("syndog_periods_total 1"));
 //! ```
 
+pub mod budget;
 pub mod events;
 pub mod export;
 pub mod metrics;
@@ -42,6 +48,7 @@ pub mod registry;
 pub mod scrape;
 pub mod snapshot;
 
+pub use budget::{LabelBudget, LabelMode, TopK};
 pub use events::{Event, EventLog, FieldValue};
 pub use export::ExportFormat;
 pub use metrics::{Counter, Gauge, Histogram};
