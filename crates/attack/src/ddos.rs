@@ -86,6 +86,14 @@ impl DdosCampaign {
             spoof: SpoofStrategy::RandomUnroutable,
             target: self.target,
             attacker_mac: MacAddr::for_host(0xff00 | (index as u16 & 0xff), index as u32),
+            // Every slave runs the same master-distributed tool, so every
+            // slave's SYNs carry the same header template — which is what
+            // lets fingerprint-keyed throttling and cross-stub campaign
+            // correlation tie the sources together.
+            fp: crate::tools::AttackTool::Tfn2k
+                .fingerprint()
+                .map_or(0, |key| key.to_bits()),
+            mac_rotation: 0,
         }
     }
 

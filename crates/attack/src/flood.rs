@@ -52,6 +52,14 @@ pub enum SpoofStrategy {
     RandomAny,
     /// A fixed list cycled deterministically.
     FixedList(Vec<Ipv4Addr>),
+    /// Unroutable addresses whose /24 prefix *rotates* every `per_prefix`
+    /// SYNs — the keyed-mitigation evasion strategy: each fresh /24 faces
+    /// an empty token bucket, so prefix-keyed throttling degrades to pure
+    /// collateral while spoofed-source accounting still sees bogons.
+    RotatingPrefix {
+        /// SYNs emitted from one /24 before rotating to the next.
+        per_prefix: u64,
+    },
 }
 
 impl SpoofStrategy {
@@ -71,6 +79,17 @@ impl SpoofStrategy {
             SpoofStrategy::FixedList(list) => {
                 assert!(!list.is_empty(), "fixed spoof list must not be empty");
                 list[(index % list.len() as u64) as usize]
+            }
+            SpoofStrategy::RotatingPrefix { per_prefix } => {
+                let prefix = index / (*per_prefix).max(1);
+                // Walk 10.x.y.0/24 prefixes deterministically; low byte
+                // random. Always inside 10/8, so still unroutable.
+                Ipv4Addr::new(
+                    10,
+                    ((prefix >> 8) & 0xff) as u8,
+                    (prefix & 0xff) as u8,
+                    (rng.next_u32() % 254) as u8 + 1,
+                )
             }
         }
     }
@@ -94,6 +113,14 @@ pub struct SynFlood {
     /// The compromised host's real MAC address — what §4.2.3's
     /// localization ultimately finds.
     pub attacker_mac: MacAddr,
+    /// Packed SYN fingerprint every flood packet carries (the tool's
+    /// constant header template), or 0 for no fingerprint. See
+    /// [`AttackTool::fingerprint`](crate::tools::AttackTool::fingerprint).
+    pub fp: u64,
+    /// When nonzero, the flooder forges a different source MAC per packet,
+    /// cycling through this many addresses — defeating both prime-suspect
+    /// MAC localization and MAC-keyed throttling.
+    pub mac_rotation: u32,
 }
 
 impl SynFlood {
@@ -113,6 +140,8 @@ impl SynFlood {
             spoof: SpoofStrategy::RandomUnroutable,
             target,
             attacker_mac: MacAddr::for_host(0xffff, 0xdead),
+            fp: 0,
+            mac_rotation: 0,
         }
     }
 
@@ -131,6 +160,19 @@ impl SynFlood {
     /// Returns a copy with the attacker's MAC set.
     pub fn with_mac(mut self, mac: MacAddr) -> Self {
         self.attacker_mac = mac;
+        self
+    }
+
+    /// Returns a copy with the packed SYN fingerprint set.
+    pub fn with_fp(mut self, fp: u64) -> Self {
+        self.fp = fp;
+        self
+    }
+
+    /// Returns a copy that rotates the forged source MAC over `macs`
+    /// distinct addresses (0 disables rotation).
+    pub fn with_mac_rotation(mut self, macs: u32) -> Self {
+        self.mac_rotation = macs;
         self
     }
 
@@ -205,6 +247,13 @@ impl SynFlood {
                 self.spoof.next_address(i as u64, rng),
                 1024 + (rng.next_u32() % 60000) as u16,
             );
+            let mac = if self.mac_rotation > 0 {
+                // Forged MACs in a block (site 0xfffe) disjoint from every
+                // legitimate site's and slave's allocation.
+                MacAddr::for_host(0xfffe, (i as u32) % self.mac_rotation)
+            } else {
+                self.attacker_mac
+            };
             trace.push(
                 TraceRecord::new(
                     time,
@@ -213,7 +262,8 @@ impl SynFlood {
                     src,
                     self.target,
                 )
-                .with_mac(self.attacker_mac),
+                .with_mac(mac)
+                .with_fp(self.fp),
             );
         }
         trace
@@ -370,6 +420,49 @@ mod tests {
             .with_mac(mac)
             .generate_trace(&mut rng);
         assert!(trace.records().iter().all(|r| r.src_mac == mac));
+    }
+
+    #[test]
+    fn rotating_prefix_walks_unroutable_slash_24s() {
+        let mut rng = SimRng::seed_from_u64(21);
+        let strategy = SpoofStrategy::RotatingPrefix { per_prefix: 100 };
+        let mut prefixes = std::collections::BTreeSet::new();
+        for i in 0..1000u64 {
+            let addr = strategy.next_address(i, &mut rng);
+            assert!(
+                is_unroutable_source(addr),
+                "rotating prefix must stay unroutable, got {addr}"
+            );
+            let o = addr.octets();
+            prefixes.insert((o[0], o[1], o[2]));
+            // Index i sits in prefix i / 100 — the /24 is a function of
+            // the index alone, not the RNG.
+            assert_eq!((o[1] as u64) << 8 | o[2] as u64, i / 100);
+        }
+        assert_eq!(prefixes.len(), 10, "1000 SYNs at 100/prefix span 10 /24s");
+    }
+
+    #[test]
+    fn mac_rotation_cycles_forged_addresses() {
+        let mut rng = SimRng::seed_from_u64(22);
+        let trace = base_flood(FloodPattern::Constant)
+            .with_mac_rotation(7)
+            .generate_trace(&mut rng);
+        let distinct: std::collections::BTreeSet<_> =
+            trace.records().iter().map(|r| r.src_mac).collect();
+        assert_eq!(distinct.len(), 7);
+        // No forged MAC collides with the default single-attacker MAC.
+        assert!(!distinct.contains(&MacAddr::for_host(0xffff, 0xdead)));
+    }
+
+    #[test]
+    fn flood_trace_carries_fingerprint_on_every_syn() {
+        let mut rng = SimRng::seed_from_u64(23);
+        let trace = base_flood(FloodPattern::Constant)
+            .with_fp(0xdead_beef)
+            .generate_trace(&mut rng);
+        assert!(!trace.records().is_empty());
+        assert!(trace.records().iter().all(|r| r.fp == 0xdead_beef));
     }
 
     #[test]

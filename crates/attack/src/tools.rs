@@ -11,6 +11,9 @@
 
 use std::net::SocketAddrV4;
 
+use syndog_fingerprint::{
+    layout_from_codes, FingerprintKey, OPT_MSS, QUIRK_ACK_NONZERO, QUIRK_PUSH, QUIRK_SEQ_ZERO,
+};
 use syndog_sim::{SimDuration, SimTime};
 
 use crate::flood::{FloodPattern, SpoofStrategy, SynFlood};
@@ -52,6 +55,36 @@ impl AttackTool {
         !matches!(self, AttackTool::Trinoo)
     }
 
+    /// The tool's constant SYN header template as a packed fingerprint.
+    ///
+    /// Real flooding tools craft SYNs from a fixed template rather than a
+    /// kernel TCP stack, so every packet shares one telltale fingerprint:
+    /// a raw window the tool hardcodes, the default raw-socket TTL, few or
+    /// no TCP options, and sloppy header hygiene (zeroed sequence numbers,
+    /// stray ACK/PSH bits) that no OS stack produces. Returns `None` for
+    /// [`AttackTool::Trinoo`], which does not send SYNs at all.
+    pub fn fingerprint(&self) -> Option<FingerprintKey> {
+        let mss_only = layout_from_codes(&[OPT_MSS]);
+        match self {
+            // TFN builds SYNs with seq = 0 straight off a raw socket.
+            AttackTool::Tfn => Some(FingerprintKey::new(255, 512, 0, 0, QUIRK_SEQ_ZERO)),
+            // TFN2K randomizes payloads but keeps a bare, option-less SYN.
+            AttackTool::Tfn2k => Some(FingerprintKey::new(255, 1024, 0, 0, 0)),
+            // Trinity leaves a stale ACK field from its template buffer.
+            AttackTool::Trinity => Some(FingerprintKey::new(
+                128,
+                4096,
+                536,
+                mss_only,
+                QUIRK_ACK_NONZERO,
+            )),
+            AttackTool::Shaft => Some(FingerprintKey::new(255, 8192, 0, 0, QUIRK_SEQ_ZERO)),
+            // Plague sets PSH on everything, handshake included.
+            AttackTool::Plague => Some(FingerprintKey::new(64, 2048, 1400, mss_only, QUIRK_PUSH)),
+            AttackTool::Trinoo => None,
+        }
+    }
+
     /// Builds this tool's characteristic flooder.
     ///
     /// # Panics
@@ -69,7 +102,8 @@ impl AttackTool {
             self.uses_syn_flooding(),
             "trinoo floods UDP, not SYN; it has no SYN flooder"
         );
-        let base = SynFlood::constant(rate, start, duration, target);
+        let base = SynFlood::constant(rate, start, duration, target)
+            .with_fp(self.fingerprint().map_or(0, |k| k.to_bits()));
         match self {
             AttackTool::Tfn | AttackTool::Trinity => base.with_spoof(SpoofStrategy::RandomAny),
             AttackTool::Tfn2k => {
@@ -147,6 +181,19 @@ mod tests {
         let plague =
             AttackTool::Plague.flood(50.0, SimTime::ZERO, SimDuration::from_secs(60), victim());
         assert_eq!(plague.spoof, SpoofStrategy::RandomUnroutable);
+    }
+
+    #[test]
+    fn every_syn_tool_has_a_distinct_constant_fingerprint() {
+        let mut seen = std::collections::HashSet::new();
+        for tool in AttackTool::syn_capable() {
+            let key = tool.fingerprint().expect("SYN tools have fingerprints");
+            assert!(seen.insert(key.to_bits()), "{tool} fingerprint collides");
+            // Every flood record carries exactly the tool's fingerprint.
+            let flood = tool.flood(20.0, SimTime::ZERO, SimDuration::from_secs(5), victim());
+            assert_eq!(flood.fp, key.to_bits());
+        }
+        assert!(AttackTool::Trinoo.fingerprint().is_none());
     }
 
     #[test]

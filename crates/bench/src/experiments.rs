@@ -20,10 +20,10 @@ use syndog::metrics::{DetectionSummary, FalseAlarmReport, TrialOutcome};
 use syndog::{
     theory, Detection, DetectorKind, NonParametricCusum, PeriodCounts, SynDogConfig, SynDogDetector,
 };
-use syndog_attack::{FloodPattern, SynFlood};
+use syndog_attack::{FloodPattern, SpoofStrategy, SynFlood};
 use syndog_net::{MacAddr, SegmentKind};
 use syndog_router::{
-    CollectorConfig, Fleet, MitigationEngine, MitigationPolicy, Scenario, SourceLocator,
+    CollectorConfig, Fleet, KeyMode, MitigationEngine, MitigationPolicy, Scenario, SourceLocator,
     SynDogAgent,
 };
 use syndog_sim::par::{run_indexed, Parallelism};
@@ -727,6 +727,111 @@ pub fn fleet_scale(seed: u64) -> ExperimentOutput {
     }
 }
 
+/// The `mitigation` experiment's evasion arm: the same 6-stub campaign,
+/// but every slave rotates its spoofed /24 every 40 SYNs and cycles 16
+/// forged source MACs — the strategy that defeats address-derived
+/// throttle keys (each fresh /24 meets a fresh token bucket; no single
+/// MAC ever reaches the suspect share). The one thing the rotation
+/// cannot touch is the master-distributed tool's header template: every
+/// slave's SYNs still carry the same fingerprint.
+fn rotating_campaign(seed: u64) -> Scenario {
+    let config = SynDogConfig::paper_default();
+    let template = SiteProfile::auckland().with_duration(SimDuration::from_secs(1800));
+    let mut scenario = Scenario::distributed_flood(
+        "mitigation-rotating",
+        &template,
+        6,
+        &[1, 3, 5],
+        30.0,
+        SimTime::from_secs(600),
+        victim(),
+        config,
+        seed,
+    );
+    for i in scenario.attacked_indices() {
+        let flood = scenario.stubs[i].attack.as_mut().expect("attacked stub");
+        flood.duration = SimDuration::from_secs(600);
+        flood.spoof = SpoofStrategy::RotatingPrefix { per_prefix: 40 };
+        flood.mac_rotation = 16;
+    }
+    scenario
+}
+
+/// Runs the rotating campaign under one throttle-key family and sums the
+/// fleet: (attack SYNs offered, attack SYNs forwarded, legitimate SYNs
+/// throttled).
+fn keyed_rotating_run(mode: KeyMode, seed: u64) -> (u64, u64, u64) {
+    let policy = MitigationPolicy::paper_default().with_key_mode(mode);
+    let report = Fleet::new(rotating_campaign(seed).with_mitigation(policy)).run();
+    (
+        report.stubs.iter().map(|s| s.attack_syns_offered).sum(),
+        report.stubs.iter().map(|s| s.attack_syns_forwarded).sum(),
+        report.stubs.iter().map(|s| s.collateral_syns).sum(),
+    )
+}
+
+/// Percentage of offered attack SYNs the throttles shed.
+fn shed_pct(offered: u64, forwarded: u64) -> f64 {
+    100.0 * (1.0 - forwarded as f64 / offered.max(1) as f64)
+}
+
+/// One flash-crowd run: the Auckland background plus a surge of complete
+/// handshakes at twice the site rate (every surge host carrying its OS
+/// stack's fingerprint), streamed through the raw-count `syn-cusum`
+/// detector — which, unlike the paper detector, alarms on the crowd —
+/// with /24-keyed throttling under `policy`. Returns
+/// (engagements, exonerated periods, throttled SYNs).
+fn flash_crowd_run(policy: MitigationPolicy, seed: u64) -> (u64, u64, u64) {
+    use std::net::SocketAddrV4;
+    use syndog_traffic::trace::Trace;
+
+    let config = SynDogConfig::paper_default();
+    let site = SiteProfile::auckland().with_duration(SimDuration::from_secs(1800));
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut trace = site.generate_trace(&mut rng);
+    // The surge: legitimate connections — SYN answered, handshake
+    // completed — from hosts all over the stub, occupying the same
+    // window an attack would.
+    let start = SimTime::from_secs(600);
+    let window = 600.0;
+    let connections = (2.0 * site.mean_arrival_rate() * window) as u64;
+    let mut records = Vec::with_capacity(3 * connections as usize);
+    for i in 0..connections {
+        let t = start + SimDuration::from_secs_f64(rng.uniform_range(0.0, window));
+        let host = rng.uniform_u64(2, u64::from(site.stub_hosts())) as u32;
+        let src = SocketAddrV4::new(site.stub().host(host), 1024 + (i % 60_000) as u16);
+        let open = |dt: f64, dir, kind| {
+            TraceRecord::new(t + SimDuration::from_secs_f64(dt), dir, kind, src, victim())
+        };
+        records.push(
+            open(0.0, Direction::Outbound, SegmentKind::Syn)
+                .with_fp(syndog_fingerprint::os_mix::for_host(3, host).to_bits()),
+        );
+        records.push(open(0.05, Direction::Inbound, SegmentKind::SynAck));
+        records.push(open(0.1, Direction::Outbound, SegmentKind::Ack));
+    }
+    let duration = trace.duration();
+    trace.merge(&Trace::from_records(records, duration));
+
+    let mut agent = SynDogAgent::with_detector(site.stub(), DetectorKind::SynCusum.build(config));
+    agent.set_mitigation(policy.with_key_mode(KeyMode::Prefix));
+    let period = agent.router().period();
+    let last = duration.as_micros().div_ceil(period.as_micros());
+    for record in trace.records() {
+        if record.time.period_index(period) >= last {
+            continue;
+        }
+        agent.filter_record(record);
+    }
+    agent.close_periods_to(last);
+    let stats = agent.mitigation().expect("mitigation attached").stats();
+    (
+        stats.engagements,
+        stats.exonerated_periods,
+        stats.throttled_syns,
+    )
+}
+
 /// Mitigation — the detect→act loop, priced at the victim. The `fleet`
 /// experiment's 6-stub distributed flood (bounded to 600 s so the
 /// hysteresis release is visible) runs twice — mitigation off and on —
@@ -902,9 +1007,64 @@ pub fn mitigation(seed: u64) -> ExperimentOutput {
          unlike every victim-side row above, the source end names the flooding stub\n\
          and the slave's MAC while it throttles.\n",
     ));
+
+    // The evasion arm: the same campaign with rotating spoofed /24s and
+    // cycling forged MACs, once per address-derived key family and once
+    // keyed on the tool fingerprint the rotation cannot change.
+    let (p_off, p_fwd, p_col) = keyed_rotating_run(KeyMode::Prefix, seed);
+    let (f_off, f_fwd, f_col) = keyed_rotating_run(KeyMode::Fingerprint, seed);
+    let mut rotating = TextTable::new(&[
+        "throttle key",
+        "attack SYNs offered",
+        "forwarded",
+        "shed %",
+        "legitimate SYNs throttled",
+    ]);
+    rotating.row(vec![
+        "prefix (/24)".to_string(),
+        p_off.to_string(),
+        p_fwd.to_string(),
+        format!("{:.1}", shed_pct(p_off, p_fwd)),
+        p_col.to_string(),
+    ]);
+    rotating.row(vec![
+        "fingerprint".to_string(),
+        f_off.to_string(),
+        f_fwd.to_string(),
+        format!("{:.1}", shed_pct(f_off, f_fwd)),
+        f_col.to_string(),
+    ]);
+    body.push_str(
+        "\nrotating-spoofed-/24 campaign (fresh /24 every 40 SYNs, 16 forged MACs per slave):\n",
+    );
+    body.push_str(&rotating.render());
+    body.push_str(&format!(
+        "\ncollateral-reduction: {p_col} → {f_col} legitimate SYNs throttled \
+         (prefix → fingerprint keying); attack shed {:.1}% → {:.1}%\n",
+        shed_pct(p_off, p_fwd),
+        shed_pct(f_off, f_fwd),
+    ));
+
+    // The false-positive arm: a legitimate surge through the raw-count
+    // syn-cusum (which alarms on crowds), with and without the
+    // fingerprint-diversity exoneration.
+    let (hard_eng, _, hard_throttled) = flash_crowd_run(
+        MitigationPolicy::paper_default().with_exoneration(64.0, 1.0),
+        seed ^ 0xF1A5,
+    );
+    let (soft_eng, soft_exon, soft_throttled) =
+        flash_crowd_run(MitigationPolicy::paper_default(), seed ^ 0xF1A5);
+    body.push_str(&format!(
+        "\nflash crowd (2× surge of complete handshakes through the raw-count syn-cusum):\n\
+         without exoneration: {hard_eng} engagement(s), {hard_throttled} legitimate SYNs throttled\n\
+         flash-crowd-exonerated: {soft_exon} surge periods stood down, \
+         {soft_eng} throttles engaged, {soft_throttled} SYNs throttled\n",
+    ));
+
     let files = vec![
         write_result("mitigation.csv", &table.to_csv()),
         write_result("mitigation_fleet.csv", &mitigated.to_csv()),
+        write_result("mitigation_rotating.csv", &rotating.to_csv()),
     ];
     ExperimentOutput {
         id: "mitigation",
@@ -2088,6 +2248,7 @@ pub fn soak(seed: u64) -> ExperimentOutput {
             detector: DetectorKind::Syndog,
             threshold: SynDogConfig::paper_default().threshold,
             mitigation: true,
+            throttle_key: KeyMode::Mac,
         },
         config_path: Some(config_path.clone()),
         checkpoint_dir: Some(ck_dir.clone()),
@@ -2337,6 +2498,56 @@ mod tests {
             .fold(0.0f64, f64::max);
         assert!(after_max > before_max + 0.5);
         assert!(detections.iter().any(|d| d.alarm));
+    }
+
+    #[test]
+    fn rotating_campaign_defeats_prefix_keying_but_not_fingerprint_keying() {
+        // The degradation baseline the fingerprint subsystem exists to
+        // fix: under /24 keying the rotating-spoofed-prefix campaign
+        // walks through fresh buckets (poor shedding) while busy
+        // legitimate /24s burn their own allowance (collateral).
+        let (p_off, p_fwd, p_col) = keyed_rotating_run(KeyMode::Prefix, 11);
+        assert!(p_off > 0, "campaign must offer attack SYNs while engaged");
+        assert!(
+            p_col > 0,
+            "prefix keying must charge legitimate /24s under the rotating campaign"
+        );
+        assert!(
+            shed_pct(p_off, p_fwd) < 90.0,
+            "rotating /24s must defeat prefix-keyed shedding, got {:.1}%",
+            shed_pct(p_off, p_fwd)
+        );
+        // Fingerprint keying: the tool template does not rotate, so one
+        // bucket absorbs the whole campaign and the OS-mix background
+        // never matches it.
+        let (f_off, f_fwd, f_col) = keyed_rotating_run(KeyMode::Fingerprint, 11);
+        assert!(f_off > 0);
+        assert_eq!(
+            f_col, 0,
+            "fingerprint keying must throttle no legitimate SYNs"
+        );
+        assert!(
+            shed_pct(f_off, f_fwd) >= 90.0,
+            "fingerprint keying must shed ≥90% of the rotating campaign, got {:.1}%",
+            shed_pct(f_off, f_fwd)
+        );
+    }
+
+    #[test]
+    fn flash_crowd_engages_no_throttles_with_exoneration_on() {
+        // Without exoneration the raw-count detector's crowd alarm turns
+        // into throttles on legitimate traffic...
+        let (eng, _, throttled) = flash_crowd_run(
+            MitigationPolicy::paper_default().with_exoneration(64.0, 1.0),
+            5,
+        );
+        assert!(eng > 0, "the surge must trip the raw-count engine");
+        assert!(throttled > 0, "an engaged crowd period must shed real SYNs");
+        // ...with it, every would-be engagement is stood down.
+        let (eng, exonerated, throttled) = flash_crowd_run(MitigationPolicy::paper_default(), 5);
+        assert_eq!(eng, 0, "the diverse, answered surge must be exonerated");
+        assert!(exonerated > 0, "stand-downs must be tallied");
+        assert_eq!(throttled, 0);
     }
 
     #[test]

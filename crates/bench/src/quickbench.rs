@@ -3,11 +3,12 @@
 //!
 //! Complements the statistical `criterion` benches in `benches/`: this
 //! module runs in well under a second via `repro bench` and snapshots the
-//! five hot paths a deployment pays for — packet classification, the
-//! concurrent deployment's frame submission channel, the mitigation
-//! throttle's admit/deny decision, each detection strategy's per-period
-//! `observe`, and the fleet's streaming count-level fold (stub-periods/s
-//! per worker). CI writes the files at the repo root and uploads
+//! six hot paths a deployment pays for — packet classification, SYN
+//! fingerprint extraction (alone and riding the batched classifier's
+//! per-SYN sink), the concurrent deployment's frame submission channel,
+//! the mitigation throttle's admit/deny decision, each detection
+//! strategy's per-period `observe`, and the fleet's streaming count-level
+//! fold (stub-periods/s per worker). CI writes the files at the repo root and uploads
 //! them as an artifact, so throughput regressions show up in the diff of
 //! a committed `BENCH_*.json` rather than only in a transient log.
 
@@ -169,6 +170,71 @@ pub fn bench_classify(iterations: u64) -> BenchReport {
     }
 }
 
+/// SYN fingerprint extraction throughput: the header parse alone over a
+/// varied SYN population, and the full batched classifier with
+/// [`syndog_fingerprint::extract_syn`] feeding a
+/// [`syndog_fingerprint::FingerprintTable`] from the per-SYN sink — the
+/// exact configuration a fingerprinting deployment runs, so a regression
+/// here is a regression in the line-rate hot path.
+pub fn bench_fingerprint_extract(iterations: u64) -> BenchReport {
+    use syndog_fingerprint::{extract_syn, FingerprintTable};
+    use syndog_net::batch::classify_batch_sink;
+    use syndog_net::tcp::TcpOption;
+
+    // A varied SYN population: distinct TTL ladders, windows, and option
+    // layouts, so the parse never short-circuits on one constant shape.
+    let src = "10.1.2.3:1025".parse().unwrap();
+    let dst = "192.0.2.80:80".parse().unwrap();
+    let syns: Vec<Vec<u8>> = (0..256u32)
+        .map(|i| {
+            let mut builder = PacketBuilder::tcp_syn(src, dst)
+                .ttl([32, 64, 128, 255][i as usize % 4])
+                .window(512 + (i as u16 % 8) * 4096);
+            builder = match i % 3 {
+                0 => builder.tcp_options(vec![
+                    TcpOption::Mss(1460),
+                    TcpOption::SackPermitted,
+                    TcpOption::Timestamps(i, 0),
+                ]),
+                1 => builder.tcp_options(vec![TcpOption::Mss(1400), TcpOption::WindowScale(7)]),
+                _ => builder.tcp_options(Vec::new()),
+            };
+            builder.build().unwrap()
+        })
+        .collect();
+    let extract_ops = iterations * syns.len() as u64;
+    let extract = timed("extract_syn", extract_ops, || {
+        let mut keys = 0u64;
+        for _ in 0..iterations {
+            for frame in &syns {
+                keys += u64::from(extract_syn(frame).is_some());
+            }
+        }
+        assert_eq!(keys, iterations * syns.len() as u64);
+    });
+
+    let frames = frame_mix(1024);
+    let batch: FrameBatch = frames.iter().collect();
+    let sink_ops = iterations * frames.len() as u64;
+    let sink = timed("classify_sink_extract", sink_ops, || {
+        let mut table = FingerprintTable::new();
+        for _ in 0..iterations {
+            let counts = classify_batch_sink(&batch, |frame| {
+                if let Some(key) = extract_syn(frame) {
+                    table.observe_bits(key.to_bits());
+                }
+            });
+            assert!(counts.total() > 0);
+        }
+        assert!(table.total() > 0);
+    });
+    BenchReport {
+        name: "fingerprint",
+        op: "frames through fingerprint extraction",
+        cases: vec![extract, sink],
+    }
+}
+
 /// Batched frame submission through the concurrent deployment's channel,
 /// at the realistic cadence: arenas recycled through the
 /// [`syndog_net::BatchPool`] (no per-batch allocation) and a flush barrier
@@ -325,6 +391,7 @@ pub fn run_reports(quick: bool) -> Vec<BenchReport> {
     };
     vec![
         bench_classify(iters),
+        bench_fingerprint_extract(iters),
         bench_concurrent_submit(iters),
         bench_throttle(ops),
         bench_detector_observe(ops),
@@ -484,6 +551,7 @@ mod tests {
         for (speed, expect_regression) in [(0.001, false), (1e15, true)] {
             for name in [
                 "classify",
+                "fingerprint",
                 "concurrent_submit",
                 "throttle",
                 "detector_observe",
@@ -518,12 +586,13 @@ mod tests {
     }
 
     #[test]
-    fn run_all_writes_the_five_artifacts() {
+    fn run_all_writes_the_six_artifacts() {
         let dir = std::env::temp_dir().join(format!("syndog-quickbench-{}", std::process::id()));
         let files = run_all(&dir, true);
-        assert_eq!(files.len(), 5);
+        assert_eq!(files.len(), 6);
         for (file, name) in files.iter().zip([
             "BENCH_classify.json",
+            "BENCH_fingerprint.json",
             "BENCH_concurrent_submit.json",
             "BENCH_throttle.json",
             "BENCH_detector_observe.json",

@@ -3,12 +3,12 @@
 //! ```text
 //! syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
 //! syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-//! syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+//! syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--throttle-key K] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
 //! syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST]
 //! syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--shards N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST]
 //! syndog locate   --in FILE --stub CIDR
-//! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,A-B,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--regions N] [--label-budget N] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST]
-//! syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
+//! syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,A-B,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--regions N] [--label-budget N] [--mitigate] [--throttle-key K] [--faults SPEC] [--csv FILE] [--metrics DEST]
+//! syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--throttle-key K] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
 //! syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
 //! syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 //! ```
@@ -78,7 +78,7 @@ use syndog_attack::SynFlood;
 use syndog_net::Ipv4Net;
 use syndog_router::{
     Checkpoint, CollectorConfig, ConcurrentSynDog, FaultInjector, FaultSpec, FaultTelemetry, Fleet,
-    MitigationPolicy, OverflowPolicy, PcapSource, Scenario, SourceLocator, SynDogAgent,
+    KeyMode, MitigationPolicy, OverflowPolicy, PcapSource, Scenario, SourceLocator, SynDogAgent,
     TraceSource, DEFAULT_BATCH_SIZE,
 };
 use syndog_serve::{
@@ -125,12 +125,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   syndog generate --site <lbl|harvard|unc|auckland> [--seed N] --out FILE
   syndog inject   --in FILE --out FILE --rate R [--start SECS] [--duration SECS] [--seed N]
-  syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
+  syndog detect   --in FILE --stub CIDR [--detector D] [--mitigate] [--throttle-key K] [--tuned] [--t0 SECS] [--verbose] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog sniff    --in FILE --stub CIDR [--detector D] [--batch-size N] [--tuned] [--t0 SECS] [--verbose] [--metrics DEST] [--metrics-format F]
   syndog replay   --in FILE --stub CIDR [--detector D] [--batch-size N] [--capacity N] [--shards N] [--drop] [--tuned] [--t0 SECS] [--faults SPEC] [--checkpoint FILE] [--resume FILE] [--metrics DEST] [--metrics-format F]
   syndog locate   --in FILE --stub CIDR
-  syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,A-B,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--regions N] [--label-budget N] [--mitigate] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
-  syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
+  syndog fleet    [--detector D] [--stubs N] [--site S] [--site-minutes M] [--attackers I,J,A-B,..] [--total-rate V] [--start SECS] [--attack-duration SECS] [--seed N] [--jobs N] [--counts] [--regions N] [--label-budget N] [--mitigate] [--throttle-key K] [--faults SPEC] [--csv FILE] [--metrics DEST] [--metrics-format F]
+  syndog serve    [--sites S,S,..|--in FILE --stub CIDR] [--plan FILE] [--flood R@START+DURATION] [--periods N] [--t0 SECS] [--seed N] [--detector D] [--threshold N] [--mitigate] [--throttle-key K] [--config FILE] [--checkpoint-dir DIR] [--checkpoint-interval N] [--checkpoint-keep N] [--resume-latest] [--status-json] [--metrics DEST]
   syndog stats    --in FILE.jsonl [--format <prom|jsonl|csv>]
   syndog theory   --k KBAR [--a A] [--c C] [--t0 SECS] [--total-rate V]
 
@@ -186,13 +186,19 @@ own topology cross-check) in place of the per-stub table.
 sets agents share per-region rollup series instead of per-stub ones.
 --jobs caps workers without changing any output byte.
 
---mitigate (detect and fleet) arms source-end mitigation: the first
-alarm installs keyed token-bucket SYN throttles (per suspect MAC, or
-per /24 spoofed-source prefix) sized from the stub's learned K, and a
-hysteresis gate releases them once the statistic stays calm. detect
-prints a MITIGATION summary; fleet adds THROTTLED lines and extends
-the CSV with engaged/release periods, throttled / collateral counts,
-and the victim-observed SYN rate before and after the first alarm.
+--mitigate (detect, fleet and serve) arms source-end mitigation: the
+first alarm installs keyed token-bucket SYN throttles sized from the
+stub's learned K, and a hysteresis gate releases them once the
+statistic stays calm. --throttle-key picks the key family: mac (the
+default; suspect MAC with /24 spoofed-source fallback), prefix (every
+outbound SYN keyed by its /24), or fingerprint (only SYNs bearing the
+dominant attack SYN fingerprint — immune to MAC and prefix rotation,
+zero legitimate collateral). With fingerprints available, a surge
+whose SYNs carry a diverse OS-stack mix and whose handshakes complete
+is exonerated as a flash crowd: no throttles engage. detect prints a
+MITIGATION summary; fleet adds THROTTLED lines and extends the CSV
+with engaged/release periods, throttled / collateral counts, and the
+victim-observed SYN rate before and after the first alarm.
 
 serve hosts the agents as a long-running daemon for --periods
 observation periods (sim-time; default 720 = 4 sim-hours at the
@@ -507,12 +513,17 @@ fn cmd_inject(args: &[String]) -> Result<(), String> {
     };
     let mut trace = read_trace(input, stub)?;
     let mut rng = SimRng::seed_from_u64(seed);
+    // Stamp the canonical attack-tool fingerprint so downstream
+    // `--throttle-key fingerprint` runs have something to key on;
+    // pcap export shapes the SYN headers to match, and import
+    // re-extracts the same key.
     let flood = SynFlood::constant(
         rate,
         SimTime::from_secs_f64(start),
         SimDuration::from_secs_f64(duration),
         victim(),
-    );
+    )
+    .with_fp(syndog_traffic::load::attack_fingerprint().to_bits());
     let flood_trace = flood.generate_trace(&mut rng);
     trace.merge(&flood_trace);
     write_trace(&trace, out)?;
@@ -534,6 +545,13 @@ fn detect_config(flags: &Flags) -> Result<SynDogConfig, String> {
         return Err("--t0 must be positive".into());
     }
     Ok(config.with_observation_period_secs(t0))
+}
+
+fn throttle_key_flag(flags: &Flags) -> Result<KeyMode, String> {
+    match flags.get("throttle-key") {
+        Some(raw) => raw.parse(),
+        None => Ok(KeyMode::Mac),
+    }
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
@@ -565,7 +583,9 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     // A checkpoint that carried an armed engine restores it whether or
     // not the flag is repeated; `--mitigate` on a fresh run arms one.
     if flags.has("mitigate") && agent.mitigation().is_none() {
-        agent.set_mitigation(MitigationPolicy::paper_default());
+        agent.set_mitigation(
+            MitigationPolicy::paper_default().with_key_mode(throttle_key_flag(&flags)?),
+        );
     }
     if agent.mitigation().is_some() {
         // The engine judges individual records, so the mitigated run
@@ -1030,7 +1050,9 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         scenario = scenario.with_faults(faults);
     }
     if flags.has("mitigate") {
-        scenario = scenario.with_mitigation(MitigationPolicy::paper_default());
+        scenario = scenario.with_mitigation(
+            MitigationPolicy::paper_default().with_key_mode(throttle_key_flag(&flags)?),
+        );
     }
     let mut fleet = Fleet::new(scenario);
     if let Some(raw) = flags.get("jobs") {
@@ -1228,6 +1250,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         detector: detector_flag(&flags)?,
         threshold: flags.parse_value("threshold", ServeConfig::default().threshold)?,
         mitigation: flags.has("mitigate"),
+        throttle_key: throttle_key_flag(&flags)?,
     };
     let spec = ServeSpec {
         period: SimDuration::from_secs_f64(t0),
@@ -1967,6 +1990,55 @@ mod tests {
         }
 
         for p in [&trace_path, &ck, &csv] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn throttle_key_flag_selects_fingerprint_keying_and_rejects_unknown() {
+        let bad = Flags::parse(
+            &args(&["--throttle-key", "magic"]),
+            &["--mitigate", "--verbose"],
+        )
+        .unwrap();
+        assert!(throttle_key_flag(&bad)
+            .unwrap_err()
+            .contains("unknown throttle key"));
+
+        // Fingerprint-keyed detect over a fingerprinted tool flood: the
+        // checkpointed engine must carry the selected key mode.
+        let dir = std::env::temp_dir();
+        let site = SiteProfile::auckland();
+        let mut rng = SimRng::seed_from_u64(31);
+        let mut trace = site.generate_trace(&mut rng);
+        let flood = SynFlood::constant(
+            10.0,
+            SimTime::from_secs(200),
+            SimDuration::from_secs(300),
+            victim(),
+        )
+        .with_fp(syndog_traffic::load::attack_fingerprint().to_bits());
+        trace.merge(&flood.generate_trace(&mut rng));
+        let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let trace_path = path("syndog_test_throttle_key.bin");
+        write_trace(&trace, &trace_path).unwrap();
+        let ck = path("syndog_test_throttle_key.ck.json");
+        cmd_detect(&args(&[
+            "--in",
+            &trace_path,
+            "--stub",
+            &site.stub().to_string(),
+            "--mitigate",
+            "--throttle-key",
+            "fingerprint",
+            "--checkpoint",
+            &ck,
+        ]))
+        .unwrap();
+        let saved = read_checkpoint(&ck).unwrap();
+        let state = saved.mitigation.expect("checkpoint must carry the engine");
+        assert_eq!(state.policy.key_mode, KeyMode::Fingerprint);
+        for p in [&trace_path, &ck] {
             let _ = std::fs::remove_file(p);
         }
     }

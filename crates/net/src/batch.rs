@@ -307,6 +307,18 @@ impl ClassCounts {
 /// [`classify_batch_scalar`] — a property test in `tests/prop.rs` pins that
 /// equivalence over arbitrary frame mixes.
 pub fn classify_batch(batch: &FrameBatch) -> ClassCounts {
+    classify_batch_sink(batch, |_| {})
+}
+
+/// [`classify_batch`] with a per-SYN sink: `on_syn` is invoked with the raw
+/// frame bytes of every frame that classifies as a pure SYN, exactly once
+/// each (order within a SWAR group may interleave slow-path lanes ahead of
+/// fast-path ones). This is the fingerprinting hook — the sink typically runs
+/// `syndog_fingerprint::extract_syn` on the ~handful of SYN frames while
+/// the non-SYN bulk of the batch stays on the branchless SWAR path. With a
+/// no-op sink this monomorphizes to exactly [`classify_batch`] (which is
+/// now defined as that instantiation), so the fast path pays nothing.
+pub fn classify_batch_sink(batch: &FrameBatch, mut on_syn: impl FnMut(&[u8])) -> ClassCounts {
     let mut counts = ClassCounts::new();
     let ends = &batch.ends;
     let buf = &batch.buffer;
@@ -335,16 +347,32 @@ pub fn classify_batch(batch: &FrameBatch) -> ClassCounts {
                 SHORT_LANE
             }
         });
-        classify_swar_group(&heads, &mut counts, |lane| {
+        let fast_syn = classify_swar_group(&heads, &mut counts, |lane| {
             let end = ends[i + lane];
-            classify(&buf[starts[lane]..end])
+            let frame = &buf[starts[lane]..end];
+            let outcome = classify(frame);
+            if matches!(outcome, Ok(SegmentKind::Syn)) {
+                on_syn(frame);
+            }
+            outcome
         });
+        let mut syns = fast_syn;
+        while syns != 0 {
+            let lane = (syns.trailing_zeros() / 8) as usize;
+            on_syn(&buf[starts[lane]..ends[i + lane]]);
+            syns &= syns - 1;
+        }
         start = cursor;
         i += SWAR_LANES;
     }
     while i < ends.len() {
         let end = ends[i];
-        counts.record_outcome(&classify(&buf[start..end]));
+        let frame = &buf[start..end];
+        let outcome = classify(frame);
+        if matches!(outcome, Ok(SegmentKind::Syn)) {
+            on_syn(frame);
+        }
+        counts.record_outcome(&outcome);
         start = end;
         i += 1;
     }
@@ -419,12 +447,15 @@ fn gather(heads: &[&[u8; SWAR_MIN_FRAME_LEN]; SWAR_LANES], offset: usize) -> u64
 /// `counts`. Lanes that are not plain `EtherType=IPv4, ver_ihl=0x45` frames
 /// are delegated to `fallback(lane)`, which classifies the full frame
 /// scalar-wise (handling IPv4 options, foreign EtherTypes, bad versions).
+/// Returns the lane mask (`0x01` per matching lane) of fast-path pure SYNs
+/// so the caller can feed them to a per-SYN sink; slow-lane SYNs are the
+/// fallback's business.
 #[inline]
 fn classify_swar_group(
     heads: &[&[u8; SWAR_MIN_FRAME_LEN]; SWAR_LANES],
     counts: &mut ClassCounts,
-    fallback: impl Fn(usize) -> Result<SegmentKind, crate::error::NetError>,
-) {
+    mut fallback: impl FnMut(usize) -> Result<SegmentKind, crate::error::NetError>,
+) -> u64 {
     // Header bytes, one frame per lane. Offsets into the raw frame:
     // 12..14 EtherType, 14 version/IHL, 20..22 fragment word, 23 protocol,
     // 47 TCP flags (valid only when IHL == 20, i.e. ver_ihl == 0x45).
@@ -482,6 +513,7 @@ fn classify_swar_group(
         counts.record_outcome(&fallback(lane));
         slow &= slow - 1;
     }
+    syn_k
 }
 
 #[cfg(test)]
@@ -608,6 +640,35 @@ mod tests {
         assert_eq!(counts.malformed(), 1);
         assert_eq!(counts.get(SegmentKind::NonTcp), 1);
         assert_eq!(counts.total(), frames.len() as u64);
+    }
+
+    #[test]
+    fn sink_sees_every_syn_in_batch_order() {
+        // Mix fast-lane SYNs, slow-lane SYNs (short frames can't be, but a
+        // non-0x45 IHL can), non-SYNs and garbage, across more than one
+        // SWAR group so both the grouped and the tail paths run.
+        let syn = frame(TcpFlags::SYN);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for round in 0..3 {
+            frames.push(syn.clone());
+            frames.push(frame(TcpFlags::ACK));
+            frames.push(frame(TcpFlags::SYN | TcpFlags::ACK));
+            frames.push(vec![0u8; 5]);
+            let mut tagged = syn.clone();
+            tagged[5] = round; // distinguishable copies
+            frames.push(tagged);
+        }
+        let batch: FrameBatch = frames.iter().collect();
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        let counts = classify_batch_sink(&batch, |f| seen.push(f.to_vec()));
+        let expected: Vec<Vec<u8>> = frames
+            .iter()
+            .filter(|f| matches!(crate::classify::classify(f), Ok(SegmentKind::Syn)))
+            .cloned()
+            .collect();
+        assert_eq!(seen.len() as u64, counts.syn());
+        assert_eq!(seen, expected, "sink order follows batch order");
+        assert_eq!(counts, classify_batch(&batch));
     }
 
     #[test]

@@ -150,6 +150,11 @@ pub struct PacketBuilder {
     seq: u32,
     ack: u32,
     ttl: u8,
+    window: u16,
+    urgent: u16,
+    identification: u16,
+    dont_fragment: bool,
+    tcp_options: Option<Vec<crate::tcp::TcpOption>>,
     payload: Vec<u8>,
     non_tcp_protocol: Option<u8>,
     fragment_offset: u16,
@@ -167,6 +172,11 @@ impl PacketBuilder {
             seq: 0,
             ack: 0,
             ttl: 64,
+            window: 65535,
+            urgent: 0,
+            identification: 0,
+            dont_fragment: true,
+            tcp_options: None,
             payload: Vec::new(),
             non_tcp_protocol: None,
             fragment_offset: 0,
@@ -196,6 +206,11 @@ impl PacketBuilder {
             seq: 0,
             ack: 0,
             ttl: 64,
+            window: 65535,
+            urgent: 0,
+            identification: 0,
+            dont_fragment: true,
+            tcp_options: None,
             payload: Vec::new(),
             non_tcp_protocol: Some(protocol),
             fragment_offset: 0,
@@ -229,6 +244,44 @@ impl PacketBuilder {
     /// Sets the IPv4 TTL (defaults to 64).
     pub fn ttl(mut self, ttl: u8) -> Self {
         self.ttl = ttl;
+        self
+    }
+
+    /// Replaces the TCP flags (keeping all eight raw bits).
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Sets the TCP receive window (defaults to 65535).
+    pub fn window(mut self, window: u16) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the TCP urgent pointer (defaults to 0).
+    pub fn urgent(mut self, urgent: u16) -> Self {
+        self.urgent = urgent;
+        self
+    }
+
+    /// Sets the IPv4 identification field (defaults to 0).
+    pub fn identification(mut self, id: u16) -> Self {
+        self.identification = id;
+        self
+    }
+
+    /// Sets or clears the IPv4 don't-fragment flag (defaults to set).
+    pub fn dont_fragment(mut self, df: bool) -> Self {
+        self.dont_fragment = df;
+        self
+    }
+
+    /// Replaces the TCP option list. When not called, a pure SYN or
+    /// SYN/ACK carries the default `MSS(1460)` and other segments carry no
+    /// options; an explicit empty list suppresses even the default.
+    pub fn tcp_options(mut self, options: Vec<crate::tcp::TcpOption>) -> Self {
+        self.tcp_options = Some(options);
         self
     }
 
@@ -270,13 +323,17 @@ impl PacketBuilder {
                     seq: self.seq,
                     ack: self.ack,
                     flags: self.flags,
-                    window: 65535,
+                    window: self.window,
                     checksum: 0,
-                    urgent: 0,
+                    urgent: self.urgent,
                     options: Vec::new(),
                 };
-                if self.flags.is_pure_syn() || self.flags.is_syn_ack() {
-                    tcp.options.push(crate::tcp::TcpOption::Mss(1460));
+                match &self.tcp_options {
+                    Some(options) => tcp.options = options.clone(),
+                    None if self.flags.is_pure_syn() || self.flags.is_syn_ack() => {
+                        tcp.options.push(crate::tcp::TcpOption::Mss(1460));
+                    }
+                    None => {}
                 }
                 tcp.encode(
                     *self.src.ip(),
@@ -290,6 +347,8 @@ impl PacketBuilder {
         let mut ip = Ipv4Header::for_tcp(*self.src.ip(), *self.dst.ip(), transport.len());
         ip.protocol = protocol;
         ip.ttl = self.ttl;
+        ip.identification = self.identification;
+        ip.dont_fragment = self.dont_fragment;
         ip.fragment_offset = self.fragment_offset;
         if self.fragment_offset != 0 {
             ip.dont_fragment = false;

@@ -46,10 +46,22 @@ impl TcpFlags {
     pub const ACK: TcpFlags = TcpFlags(0x10);
     /// URG — urgent pointer is significant.
     pub const URG: TcpFlags = TcpFlags(0x20);
+    /// ECE — ECN echo (RFC 3168). Outside the classic six bits: the
+    /// classifier ignores it, but the fingerprinter records it as a quirk.
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    /// CWR — congestion window reduced (RFC 3168). See [`TcpFlags::ECE`].
+    pub const CWR: TcpFlags = TcpFlags(0x80);
 
     /// Builds flags from the low six bits of `bits`.
     pub const fn from_bits_truncate(bits: u8) -> Self {
         TcpFlags(bits & 0x3f)
+    }
+
+    /// Builds flags from all eight bits, keeping the ECN bits (ECE/CWR).
+    /// Classification only looks at the classic six; use this to craft or
+    /// inspect frames where the ECN bits matter (fingerprint quirks).
+    pub const fn from_raw_bits(bits: u8) -> Self {
+        TcpFlags(bits)
     }
 
     /// The raw bits as carried in the header.
@@ -115,6 +127,8 @@ impl fmt::Display for TcpFlags {
             (TcpFlags::RST, "RST"),
             (TcpFlags::PSH, "PSH"),
             (TcpFlags::URG, "URG"),
+            (TcpFlags::ECE, "ECE"),
+            (TcpFlags::CWR, "CWR"),
         ];
         let mut first = true;
         for (flag, name) in names {
@@ -493,6 +507,15 @@ mod tests {
     fn from_bits_truncates_reserved_bits() {
         let flags = TcpFlags::from_bits_truncate(0xff);
         assert_eq!(flags.bits(), 0x3f);
+    }
+
+    #[test]
+    fn from_raw_bits_keeps_ecn_bits() {
+        let flags = TcpFlags::from_raw_bits(0xc2);
+        assert_eq!(flags.bits(), 0xc2);
+        assert!(flags.is_pure_syn(), "ECN bits do not disqualify a pure SYN");
+        assert!(flags.contains(TcpFlags::ECE | TcpFlags::CWR));
+        assert_eq!(flags.to_string(), "SYN|ECE|CWR");
     }
 
     #[test]

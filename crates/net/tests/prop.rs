@@ -4,8 +4,10 @@ use proptest::prelude::*;
 use std::io::Cursor;
 use std::net::{Ipv4Addr, SocketAddrV4};
 
-use syndog_net::batch::{classify_batch, classify_batch_scalar, ClassCounts, FrameBatch};
-use syndog_net::classify::{classify, flow_hash, kind_of};
+use syndog_net::batch::{
+    classify_batch, classify_batch_scalar, classify_batch_sink, ClassCounts, FrameBatch,
+};
+use syndog_net::classify::{classify, flow_hash, kind_of, SegmentKind};
 use syndog_net::ipv4::{internet_checksum, Ipv4Header};
 use syndog_net::packet::{Packet, PacketBuilder};
 use syndog_net::pcap::{PcapPacket, PcapReader, PcapWriter};
@@ -115,6 +117,31 @@ proptest! {
     ) {
         let batch: FrameBatch = frames.iter().collect();
         prop_assert_eq!(classify_batch(&batch), classify_batch_scalar(&batch));
+    }
+
+    /// The per-SYN sink delivers exactly the pure-SYN frames of the batch
+    /// (the fingerprinting hook) — same multiset as a scalar filter over
+    /// the frames, same tally as the sink-less classifier — over arbitrary
+    /// mixes of truncated, non-IPv4, fragmented and odd-IHL frames.
+    #[test]
+    fn swar_syn_sink_matches_scalar_filter(
+        frames in proptest::collection::vec(arb_frame(), 0..96),
+    ) {
+        let batch: FrameBatch = frames.iter().collect();
+        let mut sunk: Vec<Vec<u8>> = Vec::new();
+        let counts = classify_batch_sink(&batch, |frame| sunk.push(frame.to_vec()));
+        prop_assert_eq!(&counts, &classify_batch_scalar(&batch));
+        let mut expected: Vec<Vec<u8>> = frames
+            .iter()
+            .filter(|frame| matches!(classify(frame), Ok(SegmentKind::Syn)))
+            .cloned()
+            .collect();
+        prop_assert_eq!(sunk.len() as u64, counts.syn());
+        // Slow lanes of a SWAR group are sunk before its fast lanes, so
+        // compare as multisets.
+        sunk.sort();
+        expected.sort();
+        prop_assert_eq!(sunk, expected);
     }
 
     /// The flow hash is a pure function of the frame bytes (same flow →

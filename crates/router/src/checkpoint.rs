@@ -62,12 +62,17 @@ use crate::sniffer::Sniffer;
 /// optional `mitigation` payload field (throttle buckets, hysteresis
 /// gate, locator tallies, decision counters); 3 — the detector becomes a
 /// strategy-tagged [`AnyDetector`] union and sniffers carry pending
-/// `fin`/`rst` counts.
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// `fin`/`rst` counts; 4 — the mitigation state gains the SYN
+/// fingerprint subsystem (lifetime and per-period fingerprint tables,
+/// the locator's attack-fingerprint tallies, the flash-crowd exoneration
+/// window and tally, and the policy's key-mode/exoneration knobs).
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// The oldest payload schema version this build still reads. Version-2
-/// files restore losslessly: a bare detector map is taken as the paper
-/// strategy, and absent `fin`/`rst` counts as zero.
+/// and version-3 files restore losslessly: a bare detector map is taken
+/// as the paper strategy, absent `fin`/`rst` counts as zero, and absent
+/// fingerprint state as empty tables under MAC keying — exactly what
+/// those builds maintained.
 pub const MIN_CHECKPOINT_VERSION: u32 = 2;
 
 /// The envelope magic string.
@@ -608,6 +613,133 @@ mod tests {
         // upgrade round-trip.
         let resaved = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
         assert_eq!(resaved, checkpoint);
+    }
+
+    #[test]
+    fn version_3_checkpoint_restores_with_empty_fingerprint_state() {
+        // A frozen version-3 payload, exactly as the previous release
+        // wrote it: tagged detector, sniffers with pending fin/rst, and a
+        // mid-attack mitigation block that predates the fingerprint
+        // subsystem — no fingerprint tables, no exoneration window, no
+        // key-mode knob. It must restore to what that engine was: MAC
+        // keying, empty fingerprint state.
+        let payload = concat!(
+            r#"{"stub":"10.1.0.0/16","period_micros":20000000,"current_period":5,"#,
+            r#""period_base":0,"#,
+            r#""outbound":{"syn":2,"synack":0,"fin":1,"rst":0,"frames_seen":12,"#,
+            r#""malformed":1,"kinds":[2,0,1,1,3,4,0]},"#,
+            r#""inbound":{"syn":0,"synack":3,"fin":0,"rst":1,"frames_seen":7,"#,
+            r#""malformed":0,"kinds":[0,3,1,0,2,1,0]},"#,
+            r#""detector":{"syndog":{"config":{"observation_period_secs":20.0,"alpha":0.9,"#,
+            r#""offset":0.35,"min_attack_mean":0.7,"threshold":1.05},"#,
+            r#""estimator":{"alpha":0.9,"average":98.5},"#,
+            r#""cusum":{"a":0.35,"threshold":1.05,"y":1.05,"n":5,"first_alarm":4}}},"#,
+            r#""detections":[],"alarms":[],"#,
+            r#""mitigation":{"policy":{"bucket_fraction":0.05,"min_tokens_per_period":1.0,"#,
+            r#""burst_periods":1.0,"release_periods":3,"suspect_min_share":0.5},"#,
+            r#""offset":0.35,"threshold":1.05,"period_secs":20.0,"#,
+            r#""stub":"10.1.0.0/16","armed":true,"activity":[],"#,
+            r#""engagement":{"allowance":5.0,"buckets":[]},"#,
+            r#""gate":1.05,"calm_streak":0,"suspect":null,"#,
+            r#""stats":{"engagements":1,"releases":0,"engaged_periods":0,"#,
+            r#""throttled_syns":0,"passed_syns":0,"collateral_syns":0,"#,
+            r#""attack_syns_offered":0,"attack_syns_forwarded":0},"#,
+            r#""engaged_at":4,"released_at":null}}"#
+        );
+        let envelope = serde_json::to_string(&Envelope {
+            magic: MAGIC.to_string(),
+            version: 3,
+            crc32: crc32(payload.as_bytes()),
+            payload: payload.to_string(),
+        })
+        .unwrap();
+        let checkpoint = Checkpoint::from_json(&envelope).unwrap();
+        let engine = checkpoint
+            .restore_mitigation()
+            .unwrap()
+            .expect("mitigation present");
+        assert!(engine.is_engaged());
+        assert_eq!(
+            engine.policy().key_mode,
+            crate::mitigate::KeyMode::Mac,
+            "version-3 engines keyed by MAC"
+        );
+        assert!(engine.fingerprints().is_empty());
+        assert!(engine.locator().attack_fingerprints().is_empty());
+        assert_eq!(engine.stats().exonerated_periods, 0);
+        // Re-saving writes version 4 and the state survives the upgrade.
+        let resaved = Checkpoint::from_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(resaved, checkpoint);
+    }
+
+    #[test]
+    fn version_4_round_trips_mid_attack_fingerprint_throttles() {
+        use crate::mitigate::{KeyMode, MitigationEngine, MitigationPolicy, ThrottleKey};
+        use std::net::SocketAddrV4;
+        use syndog_net::MacAddr;
+        use syndog_traffic::trace::TraceRecord;
+
+        let tool = syndog_fingerprint::FingerprintKey::new(255, 512, 0, 0, 0).to_bits();
+        let syn = |ms: u64, src: &str, host: u32| {
+            TraceRecord::new(
+                SimTime::from_micros(ms * 1000),
+                Direction::Outbound,
+                SegmentKind::Syn,
+                src.parse::<SocketAddrV4>().unwrap(),
+                "192.0.2.80:80".parse().unwrap(),
+            )
+            .with_mac(MacAddr::for_host(0xfffe, host))
+            .with_fp(tool)
+        };
+        let config = SynDogConfig::paper_default();
+        let mut engine = MitigationEngine::new(
+            "10.1.0.0/16".parse().unwrap(),
+            &config,
+            MitigationPolicy::paper_default().with_key_mode(KeyMode::Fingerprint),
+        );
+        let detection = Detection {
+            period: 0,
+            delta: 200.0,
+            k_average: 100.0,
+            x: 2.0,
+            statistic: 1.65,
+            alarm: true,
+        };
+        engine.on_detection(&detection, 0);
+        // A rotating-prefix, rotating-MAC flood mid-throttle: the bucket
+        // is keyed on the tool's fingerprint.
+        for i in 0..60u64 {
+            engine.process(&syn(
+                i * 100,
+                &format!("172.16.{}.9:6000", i % 40),
+                (i % 8) as u32,
+            ));
+        }
+        assert_eq!(engine.keys(), vec![ThrottleKey::Fingerprint(tool)]);
+        assert!(engine.stats().throttled_syns > 0);
+
+        let mut checkpoint = sample_checkpoint();
+        checkpoint.mitigation = Some(engine.snapshot());
+        let json = checkpoint.to_json();
+        let envelope: Envelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(envelope.version, 4, "fingerprint state is a v4 payload");
+        let parsed = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(parsed, checkpoint);
+        let mut restored = parsed
+            .restore_mitigation()
+            .unwrap()
+            .expect("mitigation present");
+        assert_eq!(restored, engine);
+        // The restored engine keeps making byte-identical decisions.
+        for i in 60..120u64 {
+            let record = syn(
+                i * 100,
+                &format!("172.16.{}.9:6000", i % 40),
+                (i % 8) as u32,
+            );
+            assert_eq!(engine.process(&record), restored.process(&record));
+        }
+        assert_eq!(engine, restored);
     }
 
     #[test]

@@ -83,8 +83,8 @@ pub use fleet::{
 };
 pub use locate::SourceLocator;
 pub use mitigate::{
-    MitigationDecision, MitigationEngine, MitigationPolicy, MitigationState, MitigationStats,
-    ThrottleKey, TokenBucket,
+    KeyMode, MitigationDecision, MitigationEngine, MitigationPolicy, MitigationState,
+    MitigationStats, ThrottleKey, TokenBucket,
 };
 pub use router::LeafRouter;
 pub use sniffer::Sniffer;

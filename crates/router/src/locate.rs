@@ -11,10 +11,18 @@
 //! source IP — one that is unroutable or does not belong to the stub
 //! network (the ingress-filtering test of RFC 2267). The MAC with the
 //! dominant spoof count is the compromised host.
+//!
+//! Beside the MAC tallies the locator keeps a [`FingerprintTable`] of the
+//! spoofed SYNs' packed header fingerprints. Flooding tools craft SYNs
+//! from a fixed template, so the spoofed stream collapses onto one
+//! dominant [`FingerprintKey`] — an attribution signal that survives even
+//! when the attacker forges a fresh source MAC per packet and no single
+//! hardware address dominates.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use syndog_fingerprint::{FingerprintKey, FingerprintTable};
 use syndog_net::addr::is_unroutable_source;
 use syndog_net::{Ipv4Net, MacAddr, SegmentKind};
 use syndog_traffic::trace::{Direction, TraceRecord};
@@ -45,6 +53,7 @@ pub struct SourceLocator {
     stub: Option<Ipv4Net>,
     armed: bool,
     by_mac: HashMap<MacAddr, MacActivity>,
+    attack_fps: FingerprintTable,
 }
 
 impl SourceLocator {
@@ -56,6 +65,7 @@ impl SourceLocator {
             stub: Some(stub),
             armed: false,
             by_mac: HashMap::new(),
+            attack_fps: FingerprintTable::new(),
         }
     }
 
@@ -65,11 +75,13 @@ impl SourceLocator {
         stub: Option<Ipv4Net>,
         armed: bool,
         by_mac: HashMap<MacAddr, MacActivity>,
+        attack_fps: FingerprintTable,
     ) -> Self {
         SourceLocator {
             stub,
             armed,
             by_mac,
+            attack_fps,
         }
     }
 
@@ -92,6 +104,7 @@ impl SourceLocator {
     pub fn disarm(&mut self) {
         self.armed = false;
         self.by_mac.clear();
+        self.attack_fps.clear();
     }
 
     /// The ingress-filtering spoof test: an outbound packet is spoofed if
@@ -112,6 +125,11 @@ impl SourceLocator {
         let entry = self.by_mac.entry(record.src_mac).or_default();
         if spoofed {
             entry.spoofed_syns += 1;
+            // fp == 0 means "no fingerprint captured" (count-level traces),
+            // not a real key — keep it out of the attribution table.
+            if record.fp != 0 {
+                self.attack_fps.observe_bits(record.fp);
+            }
         } else {
             entry.legitimate_syns += 1;
         }
@@ -125,6 +143,22 @@ impl SourceLocator {
     /// The accounting table.
     pub fn activity(&self) -> &HashMap<MacAddr, MacActivity> {
         &self.by_mac
+    }
+
+    /// Per-fingerprint tallies of the spoofed SYNs seen while armed.
+    pub fn attack_fingerprints(&self) -> &FingerprintTable {
+        &self.attack_fps
+    }
+
+    /// The dominant attack fingerprint and its share of the fingerprinted
+    /// spoofed SYNs, if one packed key accounts for at least `min_share`
+    /// of them. Reported beside the suspect MAC: a MAC names *which host*
+    /// floods, the fingerprint names *which tool* — and unlike the MAC it
+    /// cannot be rotated away without rewriting the flooder itself.
+    pub fn dominant_fingerprint(&self, min_share: f64) -> Option<(FingerprintKey, f64)> {
+        let (key, count) = self.attack_fps.dominant()?;
+        let share = count as f64 / self.attack_fps.total() as f64;
+        (share >= min_share).then_some((key, share))
     }
 
     /// Ranks suspects by spoofed-SYN count, descending. MACs that emitted
@@ -244,6 +278,38 @@ mod tests {
         // Nobody holds ≥ 90% here.
         assert!(locator.prime_suspect(0.9).is_none());
         assert!(locator.prime_suspect(0.5).is_some());
+    }
+
+    #[test]
+    fn dominant_fingerprint_names_the_tool_despite_mac_rotation() {
+        use syndog_fingerprint::os_mix;
+        let mut locator = SourceLocator::new(stub());
+        locator.arm();
+        let tool_fp = syndog_attack::tools::AttackTool::Tfn
+            .fingerprint()
+            .unwrap()
+            .to_bits();
+        // The attacker rotates MACs: 40 spoofed SYNs over 8 addresses.
+        for i in 0..40u32 {
+            locator
+                .observe(&syn("10.0.0.1:6000", MacAddr::for_host(0xfffe, i % 8)).with_fp(tool_fp));
+        }
+        // Legitimate hosts with OS-mix fingerprints are not attack evidence.
+        for i in 0..20u32 {
+            locator.observe(
+                &syn("130.216.4.9:1025", MacAddr::for_host(3, i))
+                    .with_fp(os_mix::for_host(0, i).to_bits()),
+            );
+        }
+        // No MAC holds a majority of the spoofed SYNs...
+        assert!(locator.prime_suspect(0.5).is_none());
+        // ...but the tool fingerprint holds all of them.
+        let (fp, share) = locator.dominant_fingerprint(0.9).expect("dominant fp");
+        assert_eq!(fp.to_bits(), tool_fp);
+        assert!((share - 1.0).abs() < 1e-12);
+        assert_eq!(locator.attack_fingerprints().total(), 40);
+        locator.disarm();
+        assert!(locator.attack_fingerprints().is_empty());
     }
 
     #[test]

@@ -51,17 +51,72 @@ use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 use syndog::{Detection, SynDogConfig};
+use syndog_fingerprint::{FingerprintKey, FingerprintTable};
 use syndog_net::{Ipv4Net, MacAddr, SegmentKind};
 use syndog_sim::SimTime;
 use syndog_traffic::trace::{Direction, TraceRecord};
 
 use crate::locate::{MacActivity, SourceLocator, Suspect};
 
+/// Which key family the engine installs throttle buckets under — the
+/// `--throttle-key` CLI knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyMode {
+    /// Dominant-suspect MAC first, spoofed-source /24 as fallback — the
+    /// default, and what §4.2.3's localization implies. Legitimate traffic
+    /// is never keyed, but an attacker forging a fresh MAC per packet
+    /// denies the engine a dominant suspect and degrades it to prefixes.
+    Mac,
+    /// Every outbound SYN keyed by its source /24. Simple and
+    /// suspect-free, but a rotating-spoofed-prefix flood meets a fresh
+    /// full bucket per /24, and busy legitimate /24s share buckets with
+    /// nobody — their own volume exhausts the allowance (collateral).
+    Prefix,
+    /// Only SYNs bearing the dominant attack fingerprint (the spoofed
+    /// stream's packed header template, per [`SourceLocator::dominant_fingerprint`])
+    /// are keyed. Immune to both MAC and prefix rotation — the tool's
+    /// header template travels with every packet — and legitimate SYNs
+    /// carry OS-stack fingerprints that never match, so collateral is
+    /// structurally zero.
+    Fingerprint,
+}
+
+impl KeyMode {
+    /// Every key mode, in CLI listing order.
+    pub const ALL: [KeyMode; 3] = [KeyMode::Mac, KeyMode::Prefix, KeyMode::Fingerprint];
+
+    /// The stable lowercase name (`--throttle-key` value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyMode::Mac => "mac",
+            KeyMode::Prefix => "prefix",
+            KeyMode::Fingerprint => "fingerprint",
+        }
+    }
+}
+
+impl std::str::FromStr for KeyMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KeyMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == s)
+            .ok_or_else(|| format!("unknown throttle key `{s}` (want mac, prefix or fingerprint)"))
+    }
+}
+
+impl fmt::Display for KeyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Tuning knobs for the source-end mitigation subsystem.
 ///
 /// Construct via [`MitigationPolicy::paper_default`] and adjust with the
 /// builder methods.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct MitigationPolicy {
     /// Per-key SYN allowance per observation period, as a fraction of the
     /// calibrated `K̄` at engagement. `K̄` is the stub's expected SYN/ACK
@@ -79,8 +134,50 @@ pub struct MitigationPolicy {
     /// flooding threshold before throttles release.
     pub release_periods: u32,
     /// Minimum spoofed-SYN share before a MAC becomes a throttle key;
-    /// below it the engine falls back to /24 prefix keys.
+    /// below it the engine falls back to /24 prefix keys. The same bound
+    /// gates the dominant attack fingerprint in
+    /// [`KeyMode::Fingerprint`].
     pub suspect_min_share: f64,
+    /// The key family throttle buckets are installed under.
+    pub key_mode: KeyMode,
+    /// Flash-crowd exoneration: minimum Shannon entropy (bits) of the
+    /// just-closed period's SYN fingerprint mix for the surge to look like
+    /// a crowd of real OS stacks rather than one tool's template.
+    pub exoneration_entropy_bits: f64,
+    /// Flash-crowd exoneration: minimum SYN/ACK-to-SYN ratio in the
+    /// just-closed period — a crowd's handshakes complete; a spoofed
+    /// flood's never do.
+    pub exoneration_synack_ratio: f64,
+}
+
+// Hand-written so version-3 checkpoint payloads (no key-mode or
+// exoneration fields) still parse: absent fields restore to the defaults
+// a version-3 engine behaved as (MAC keying, exoneration thresholds that
+// version-3 never evaluated because it kept no fingerprint window).
+impl Deserialize for MitigationPolicy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::MapAccess::new(value, "MitigationPolicy")?;
+        let defaults = MitigationPolicy::paper_default();
+        Ok(MitigationPolicy {
+            bucket_fraction: Deserialize::from_value(map.field("bucket_fraction")?)?,
+            min_tokens_per_period: Deserialize::from_value(map.field("min_tokens_per_period")?)?,
+            burst_periods: Deserialize::from_value(map.field("burst_periods")?)?,
+            release_periods: Deserialize::from_value(map.field("release_periods")?)?,
+            suspect_min_share: Deserialize::from_value(map.field("suspect_min_share")?)?,
+            key_mode: match map.field("key_mode") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => KeyMode::Mac,
+            },
+            exoneration_entropy_bits: match map.field("exoneration_entropy_bits") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => defaults.exoneration_entropy_bits,
+            },
+            exoneration_synack_ratio: match map.field("exoneration_synack_ratio") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => defaults.exoneration_synack_ratio,
+            },
+        })
+    }
 }
 
 impl MitigationPolicy {
@@ -95,6 +192,11 @@ impl MitigationPolicy {
             burst_periods: 1.0,
             release_periods: 3,
             suspect_min_share: 0.5,
+            key_mode: KeyMode::Mac,
+            // A realistic OS mix carries ~2 bits of fingerprint entropy;
+            // a tool's template carries ~0. 1.5 splits them with margin.
+            exoneration_entropy_bits: 1.5,
+            exoneration_synack_ratio: 0.6,
         }
     }
 
@@ -122,6 +224,31 @@ impl MitigationPolicy {
         self.release_periods = periods;
         self
     }
+
+    /// Returns a copy throttling under a different key family.
+    pub fn with_key_mode(mut self, mode: KeyMode) -> Self {
+        self.key_mode = mode;
+        self
+    }
+
+    /// Returns a copy with different flash-crowd exoneration thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both thresholds are finite and non-negative.
+    pub fn with_exoneration(mut self, entropy_bits: f64, synack_ratio: f64) -> Self {
+        assert!(
+            entropy_bits >= 0.0 && entropy_bits.is_finite(),
+            "exoneration entropy must be finite and non-negative, got {entropy_bits}"
+        );
+        assert!(
+            synack_ratio >= 0.0 && synack_ratio.is_finite(),
+            "exoneration SYN/ACK ratio must be finite and non-negative, got {synack_ratio}"
+        );
+        self.exoneration_entropy_bits = entropy_bits;
+        self.exoneration_synack_ratio = synack_ratio;
+        self
+    }
 }
 
 impl Default for MitigationPolicy {
@@ -139,6 +266,11 @@ pub enum ThrottleKey {
     /// single MAC dominates the spoofed traffic. Always stores the /24
     /// network address.
     Prefix(Ipv4Addr),
+    /// A packed SYN header fingerprint ([`FingerprintKey::to_bits`]) —
+    /// [`KeyMode::Fingerprint`] keys the dominant attack template itself,
+    /// so rotating source MACs or spoofed prefixes never escapes the
+    /// bucket.
+    Fingerprint(u64),
 }
 
 impl ThrottleKey {
@@ -153,6 +285,9 @@ impl fmt::Display for ThrottleKey {
         match self {
             ThrottleKey::Mac(mac) => write!(f, "mac:{mac}"),
             ThrottleKey::Prefix(net) => write!(f, "net:{net}/24"),
+            ThrottleKey::Fingerprint(bits) => {
+                write!(f, "fp:{}", FingerprintKey::from_bits(*bits))
+            }
         }
     }
 }
@@ -241,7 +376,7 @@ impl MitigationDecision {
 }
 
 /// Lifetime accounting of every mitigation decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct MitigationStats {
     /// Times throttling engaged (gate crossed the threshold).
     pub engagements: u64,
@@ -260,6 +395,34 @@ pub struct MitigationStats {
     pub attack_syns_offered: u64,
     /// Spoofed-source SYNs that still got through (bucket allowance).
     pub attack_syns_forwarded: u64,
+    /// Would-be engagements suppressed by flash-crowd exoneration: the
+    /// gate crossed the threshold, but the period's SYN fingerprint mix
+    /// was diverse and its handshakes were completing, so no throttles
+    /// were installed.
+    pub exonerated_periods: u64,
+}
+
+// Hand-written for version-3 checkpoint compatibility: version-3 engines
+// kept no fingerprint window, so their payloads lack the exoneration
+// tally — it restores as zero.
+impl Deserialize for MitigationStats {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::MapAccess::new(value, "MitigationStats")?;
+        Ok(MitigationStats {
+            engagements: Deserialize::from_value(map.field("engagements")?)?,
+            releases: Deserialize::from_value(map.field("releases")?)?,
+            engaged_periods: Deserialize::from_value(map.field("engaged_periods")?)?,
+            throttled_syns: Deserialize::from_value(map.field("throttled_syns")?)?,
+            passed_syns: Deserialize::from_value(map.field("passed_syns")?)?,
+            collateral_syns: Deserialize::from_value(map.field("collateral_syns")?)?,
+            attack_syns_offered: Deserialize::from_value(map.field("attack_syns_offered")?)?,
+            attack_syns_forwarded: Deserialize::from_value(map.field("attack_syns_forwarded")?)?,
+            exonerated_periods: match map.field("exonerated_periods") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 impl MitigationStats {
@@ -313,7 +476,11 @@ pub struct SuspectState {
 
 /// The complete serializable state of a [`MitigationEngine`]; round-trips
 /// through the [`crate::checkpoint::Checkpoint`] envelope.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Fingerprint tables travel as `(packed_key, count)` pairs sorted by
+/// key; the JSON layer round-trips `u64` exactly, so packed keys with
+/// high quirk bits survive unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MitigationState {
     /// The policy the engine runs with.
     pub policy: MitigationPolicy,
@@ -343,6 +510,58 @@ pub struct MitigationState {
     pub engaged_at: Option<u64>,
     /// Absolute period of the last release.
     pub released_at: Option<u64>,
+    /// Lifetime outbound-SYN fingerprint tallies, as `(key, count)`.
+    pub syn_fps: Vec<(u64, u64)>,
+    /// The open period's fingerprint tallies (the exoneration window).
+    pub period_fps: Vec<(u64, u64)>,
+    /// The armed locator's spoofed-SYN fingerprint tallies.
+    pub attack_fps: Vec<(u64, u64)>,
+    /// Outbound SYNs seen in the open period.
+    pub window_syn: u64,
+    /// Inbound SYN/ACKs seen in the open period.
+    pub window_synack: u64,
+}
+
+// Hand-written for version-3 checkpoint compatibility: version-3 engines
+// kept no fingerprint state, so absent tables restore empty and absent
+// window counters restore to zero — exactly what a version-3 engine had.
+impl Deserialize for MitigationState {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::MapAccess::new(value, "MitigationState")?;
+        let table_or_empty = |name: &str| -> Result<Vec<(u64, u64)>, serde::Error> {
+            match map.field(name) {
+                Ok(v) => Deserialize::from_value(v),
+                Err(_) => Ok(Vec::new()),
+            }
+        };
+        let count_or_zero = |name: &str| -> Result<u64, serde::Error> {
+            match map.field(name) {
+                Ok(v) => Deserialize::from_value(v),
+                Err(_) => Ok(0),
+            }
+        };
+        Ok(MitigationState {
+            policy: Deserialize::from_value(map.field("policy")?)?,
+            offset: Deserialize::from_value(map.field("offset")?)?,
+            threshold: Deserialize::from_value(map.field("threshold")?)?,
+            period_secs: Deserialize::from_value(map.field("period_secs")?)?,
+            stub: Deserialize::from_value(map.field("stub")?)?,
+            armed: Deserialize::from_value(map.field("armed")?)?,
+            activity: Deserialize::from_value(map.field("activity")?)?,
+            engagement: Deserialize::from_value(map.field("engagement")?)?,
+            gate: Deserialize::from_value(map.field("gate")?)?,
+            calm_streak: Deserialize::from_value(map.field("calm_streak")?)?,
+            suspect: Deserialize::from_value(map.field("suspect")?)?,
+            stats: Deserialize::from_value(map.field("stats")?)?,
+            engaged_at: Deserialize::from_value(map.field("engaged_at")?)?,
+            released_at: Deserialize::from_value(map.field("released_at")?)?,
+            syn_fps: table_or_empty("syn_fps")?,
+            period_fps: table_or_empty("period_fps")?,
+            attack_fps: table_or_empty("attack_fps")?,
+            window_syn: count_or_zero("window_syn")?,
+            window_synack: count_or_zero("window_synack")?,
+        })
+    }
 }
 
 /// Runtime engagement state: the frozen allowance plus the keyed buckets.
@@ -369,6 +588,17 @@ pub struct MitigationEngine {
     stats: MitigationStats,
     engaged_at: Option<u64>,
     released_at: Option<u64>,
+    /// Lifetime fingerprint tallies of every outbound SYN processed —
+    /// the stub's OS-mix census, published as `syndog_fingerprint_*`.
+    syn_fps: FingerprintTable,
+    /// The open period's fingerprint tallies; the flash-crowd exoneration
+    /// test reads it at a would-be engagement, and it resets at every
+    /// period close.
+    period_fps: FingerprintTable,
+    /// Outbound SYNs in the open period (exoneration denominator).
+    window_syn: u64,
+    /// Inbound SYN/ACKs in the open period (exoneration numerator).
+    window_synack: u64,
 }
 
 impl MitigationEngine {
@@ -388,6 +618,10 @@ impl MitigationEngine {
             stats: MitigationStats::default(),
             engaged_at: None,
             released_at: None,
+            syn_fps: FingerprintTable::new(),
+            period_fps: FingerprintTable::new(),
+            window_syn: 0,
+            window_synack: 0,
         }
     }
 
@@ -445,6 +679,20 @@ impl MitigationEngine {
         &self.locator
     }
 
+    /// Lifetime fingerprint tallies of every outbound SYN this engine has
+    /// processed — the stub's observed OS mix plus any tool templates.
+    pub fn fingerprints(&self) -> &FingerprintTable {
+        &self.syn_fps
+    }
+
+    /// The dominant attack fingerprint the armed locator has attributed,
+    /// gated by [`MitigationPolicy::suspect_min_share`] — what
+    /// [`KeyMode::Fingerprint`] keys buckets on.
+    pub fn suspect_fingerprint(&self) -> Option<(FingerprintKey, f64)> {
+        self.locator
+            .dominant_fingerprint(self.policy.suspect_min_share)
+    }
+
     /// Approximate resident memory of the mitigation state: the engine,
     /// its keyed buckets, and the locator's per-MAC tallies. This is the
     /// number the `mitigation` experiment compares against the victim-side
@@ -482,8 +730,36 @@ impl MitigationEngine {
                 self.calm_streak = 0;
             }
         } else if self.gate >= self.threshold {
-            self.engage(detection, absolute_period);
+            if self.flash_crowd() {
+                // A flash crowd trips the same SYN-surge statistic a flood
+                // does, but its SYNs carry a diverse OS-stack fingerprint
+                // mix and its handshakes complete. Suppress the
+                // engagement; the gate stays at the threshold, so every
+                // subsequent surge period re-takes this test — the moment
+                // the traffic starts looking like a tool, throttles go in.
+                self.stats.exonerated_periods += 1;
+            } else {
+                self.engage(detection, absolute_period);
+            }
         }
+        // Close the period's exoneration window; the next period
+        // accumulates fresh evidence.
+        self.period_fps.clear();
+        self.window_syn = 0;
+        self.window_synack = 0;
+    }
+
+    /// The flash-crowd test, evaluated at a would-be engagement over the
+    /// just-closed period. Count-level runs (no per-record stream, so no
+    /// fingerprint window) never exonerate — they engage exactly as
+    /// before.
+    fn flash_crowd(&self) -> bool {
+        if self.window_syn == 0 || self.period_fps.is_empty() {
+            return false;
+        }
+        let synack_ratio = self.window_synack as f64 / self.window_syn as f64;
+        self.period_fps.entropy_bits() >= self.policy.exoneration_entropy_bits
+            && synack_ratio >= self.policy.exoneration_synack_ratio
     }
 
     fn engage(&mut self, detection: &Detection, absolute_period: u64) {
@@ -507,12 +783,26 @@ impl MitigationEngine {
         self.released_at = Some(absolute_period);
     }
 
-    /// Judges one record. While engaged this feeds the locator, picks the
-    /// record's throttle key (dominant-suspect MAC first, spoofed-source
-    /// /24 as fallback, nothing for legitimate traffic), and draws a token.
-    /// Disengaged, it is a no-op returning
+    /// Judges one record. Fingerprint bookkeeping (the per-period
+    /// exoneration window and the lifetime OS-mix census) runs on every
+    /// record, engaged or not — the flash-crowd test at an engagement
+    /// needs the evidence from *before* any throttle exists. While
+    /// engaged this additionally feeds the locator, picks the record's
+    /// throttle key per [`MitigationPolicy::key_mode`], and draws a
+    /// token. Disengaged, the verdict is always
     /// [`MitigationDecision::Forward`].
     pub fn process(&mut self, record: &TraceRecord) -> MitigationDecision {
+        match (record.direction, record.kind) {
+            (Direction::Outbound, SegmentKind::Syn) => {
+                self.window_syn += 1;
+                if record.fp != 0 {
+                    self.syn_fps.observe_bits(record.fp);
+                    self.period_fps.observe_bits(record.fp);
+                }
+            }
+            (Direction::Inbound, SegmentKind::SynAck) => self.window_synack += 1,
+            _ => {}
+        }
         if self.engagement.is_none() {
             return MitigationDecision::Forward;
         }
@@ -524,24 +814,41 @@ impl MitigationEngine {
         if spoofed {
             self.stats.attack_syns_offered += 1;
         }
-        let engagement = self.engagement.as_mut().expect("engagement checked above");
-        let mac_key = ThrottleKey::Mac(record.src_mac);
-        let key = if engagement.buckets.contains_key(&mac_key)
-            || self
-                .locator
-                .prime_suspect(self.policy.suspect_min_share)
-                .is_some_and(|s| s.mac == record.src_mac)
-        {
-            Some(mac_key)
-        } else if spoofed {
-            Some(ThrottleKey::for_spoofed_source(*record.src.ip()))
-        } else {
-            None
+        let key = match self.policy.key_mode {
+            KeyMode::Mac => {
+                let engagement = self.engagement.as_ref().expect("engagement checked above");
+                let mac_key = ThrottleKey::Mac(record.src_mac);
+                if engagement.buckets.contains_key(&mac_key)
+                    || self
+                        .locator
+                        .prime_suspect(self.policy.suspect_min_share)
+                        .is_some_and(|s| s.mac == record.src_mac)
+                {
+                    Some(mac_key)
+                } else if spoofed {
+                    Some(ThrottleKey::for_spoofed_source(*record.src.ip()))
+                } else {
+                    None
+                }
+            }
+            // Suspect-free: every outbound SYN is keyed by its /24,
+            // legitimate traffic included — that shared fate is exactly
+            // the collateral the mitigation experiment measures.
+            KeyMode::Prefix => Some(ThrottleKey::for_spoofed_source(*record.src.ip())),
+            // Only SYNs carrying the dominant attack template are keyed;
+            // everything else (OS-stack fingerprints, unfingerprinted
+            // records) forwards untouched.
+            KeyMode::Fingerprint => (record.fp != 0
+                && self
+                    .suspect_fingerprint()
+                    .is_some_and(|(fp, _)| fp.to_bits() == record.fp))
+            .then_some(ThrottleKey::Fingerprint(record.fp)),
         };
         let Some(key) = key else {
             self.stats.passed_syns += 1;
             return MitigationDecision::Forward;
         };
+        let engagement = self.engagement.as_mut().expect("engagement checked above");
         let allowance = engagement.allowance;
         let refill = allowance / self.period_secs;
         let capacity = (allowance * self.policy.burst_periods).max(1.0);
@@ -630,6 +937,11 @@ impl MitigationEngine {
             stats: self.stats,
             engaged_at: self.engaged_at,
             released_at: self.released_at,
+            syn_fps: self.syn_fps.entries().collect(),
+            period_fps: self.period_fps.entries().collect(),
+            attack_fps: self.locator.attack_fingerprints().entries().collect(),
+            window_syn: self.window_syn,
+            window_synack: self.window_synack,
         }
     }
 
@@ -677,7 +989,12 @@ impl MitigationEngine {
             offset: state.offset,
             threshold: state.threshold,
             period_secs: state.period_secs,
-            locator: SourceLocator::from_parts(stub, state.armed, by_mac),
+            locator: SourceLocator::from_parts(
+                stub,
+                state.armed,
+                by_mac,
+                FingerprintTable::from_entries(state.attack_fps.iter().copied()),
+            ),
             engagement: state.engagement.as_ref().map(|e| Engagement {
                 allowance: e.allowance,
                 buckets: e
@@ -696,6 +1013,10 @@ impl MitigationEngine {
             stats: state.stats,
             engaged_at: state.engaged_at,
             released_at: state.released_at,
+            syn_fps: FingerprintTable::from_entries(state.syn_fps.iter().copied()),
+            period_fps: FingerprintTable::from_entries(state.period_fps.iter().copied()),
+            window_syn: state.window_syn,
+            window_synack: state.window_synack,
         })
     }
 }
@@ -1018,5 +1339,258 @@ mod tests {
             ThrottleKey::for_spoofed_source("10.1.2.77".parse().unwrap()).to_string(),
             "net:10.1.2.0/24"
         );
+        let fp = tool_fp();
+        assert_eq!(
+            ThrottleKey::Fingerprint(fp.to_bits()).to_string(),
+            format!("fp:{fp}")
+        );
+    }
+
+    #[test]
+    fn key_mode_parses_displays_and_rejects_unknown() {
+        for mode in KeyMode::ALL {
+            assert_eq!(mode.name().parse::<KeyMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        let err = "syn-cookie".parse::<KeyMode>().unwrap_err();
+        assert!(err.contains("syn-cookie"), "error names the input: {err}");
+    }
+
+    /// A constant tool template: the kind of packed key every SYN of one
+    /// flooding tool carries.
+    fn tool_fp() -> FingerprintKey {
+        FingerprintKey::new(255, 512, 0, 0, 0)
+    }
+
+    fn engine_with(policy: MitigationPolicy) -> MitigationEngine {
+        MitigationEngine::new(stub(), &SynDogConfig::paper_default(), policy)
+    }
+
+    #[test]
+    fn fingerprint_keying_survives_mac_and_prefix_rotation_with_zero_collateral() {
+        let mut engine =
+            engine_with(MitigationPolicy::paper_default().with_key_mode(KeyMode::Fingerprint));
+        for p in 0..3 {
+            engine.on_detection(&detection(2.0, 100.0), p);
+        }
+        assert!(engine.is_engaged());
+        let tool = tool_fp().to_bits();
+        for i in 0..200u64 {
+            // The attacker rotates both the spoofed /24 and the forged
+            // MAC per packet — the evasions that defeat prefix and MAC
+            // keying — but the tool's header template rides every SYN.
+            let attack = syn_at(
+                i * 100,
+                &format!("10.{}.{}.5:6000", i / 8, i % 8),
+                MacAddr::for_host(0xfffe, (i % 16) as u32),
+            )
+            .with_fp(tool);
+            engine.process(&attack);
+            // Legitimate in-stub hosts carry real OS-stack fingerprints:
+            // never keyed, never throttled.
+            let legit = syn_at(i * 100 + 50, "128.1.4.9:1025", MacAddr::for_host(1, 7))
+                .with_fp(syndog_fingerprint::os_mix::for_host(5, i as u32).to_bits());
+            assert!(
+                engine.process(&legit).forwarded(),
+                "legitimate SYN {i} must forward"
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.collateral_syns, 0,
+            "fingerprint keying never touches legit SYNs"
+        );
+        assert_eq!(stats.attack_syns_offered, 200);
+        assert!(
+            stats.attack_drop_fraction().unwrap() >= 0.9,
+            "rotation-immune shedding: {:?}",
+            stats.attack_drop_fraction()
+        );
+        // One bucket for the whole campaign, keyed on the template.
+        assert_eq!(engine.keys(), vec![ThrottleKey::Fingerprint(tool)]);
+        let (dominant, share) = engine.suspect_fingerprint().expect("attributed");
+        assert_eq!(dominant.to_bits(), tool);
+        assert!(share > 0.99);
+    }
+
+    #[test]
+    fn prefix_keying_leaks_rotating_prefixes_and_charges_busy_legit_slash_24s() {
+        let mut engine =
+            engine_with(MitigationPolicy::paper_default().with_key_mode(KeyMode::Prefix));
+        for p in 0..3 {
+            engine.on_detection(&detection(2.0, 100.0), p);
+        }
+        // Rotating-/24 flood: every SYN lands on a fresh prefix and meets
+        // a fresh, full bucket — nothing is shed.
+        for i in 0..50u64 {
+            let attack = syn_at(
+                i * 10,
+                &format!("10.{}.{}.5:6000", i / 256, i % 256),
+                MacAddr::for_host(0xfffe, 1),
+            );
+            assert!(engine.process(&attack).forwarded(), "fresh /24 {i} passes");
+        }
+        assert_eq!(engine.stats().attack_drop_fraction(), Some(0.0));
+        // Meanwhile one busy legitimate /24 shares a single bucket and
+        // burns through its own allowance: collateral.
+        for i in 0..50u64 {
+            engine.process(&syn_at(
+                1000 + i,
+                &format!("128.1.4.{}:1025", i % 20),
+                MacAddr::for_host(1, (i % 20) as u32),
+            ));
+        }
+        assert!(
+            engine.stats().collateral_syns > 0,
+            "prefix keying charges legitimate volume to shared buckets"
+        );
+    }
+
+    /// One period's worth of flash-crowd evidence: many distinct OS-stack
+    /// fingerprints on the SYNs, and most handshakes completing.
+    fn feed_crowd_period(engine: &mut MitigationEngine, base_ms: u64) {
+        use syndog_fingerprint::os_mix;
+        let stacks = [
+            os_mix::windows(),
+            os_mix::linux(),
+            os_mix::apple(),
+            os_mix::android(),
+            os_mix::embedded(),
+        ];
+        for i in 0..20u64 {
+            let syn = syn_at(
+                base_ms + i * 10,
+                &format!("128.1.9.{}:2000", 10 + i),
+                MacAddr::for_host(2, i as u32),
+            )
+            .with_fp(stacks[(i % 5) as usize].to_bits());
+            engine.process(&syn);
+            if i % 5 != 0 {
+                // 80% of handshakes answered — a crowd reaching a live
+                // service, not spoofed sources that never hear back.
+                let synack = TraceRecord::new(
+                    SimTime::from_micros((base_ms + i * 10 + 5) * 1000),
+                    Direction::Inbound,
+                    SegmentKind::SynAck,
+                    "192.0.2.80:80".parse().unwrap(),
+                    format!("128.1.9.{}:2000", 10 + i).parse().unwrap(),
+                );
+                engine.process(&synack);
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_is_exonerated_each_period_but_a_tool_flood_engages() {
+        let mut engine = engine();
+        // Two surge periods that would otherwise engage: diverse
+        // fingerprints + completing handshakes suppress the throttles,
+        // and the clamped gate re-takes the test every period.
+        for p in 0..2u64 {
+            feed_crowd_period(&mut engine, p * 1000);
+            engine.on_detection(&detection(2.0, 100.0), p);
+            assert!(!engine.is_engaged(), "crowd period {p} must not engage");
+        }
+        assert_eq!(engine.stats().exonerated_periods, 2);
+        assert_eq!(engine.stats().engagements, 0);
+        // The moment the surge starts looking like a tool — one template,
+        // no completions — throttles go in on the very next close.
+        for i in 0..30u64 {
+            engine.process(
+                &syn_at(3000 + i * 10, "10.3.0.9:6000", MacAddr::for_host(3, 1))
+                    .with_fp(tool_fp().to_bits()),
+            );
+        }
+        engine.on_detection(&detection(2.0, 100.0), 2);
+        assert!(engine.is_engaged(), "tool-template surge engages");
+        assert_eq!(engine.stats().engagements, 1);
+    }
+
+    #[test]
+    fn count_level_runs_without_a_fingerprint_window_still_engage() {
+        // No per-record stream means no exoneration evidence; the engine
+        // behaves exactly as it did before the fingerprint subsystem.
+        let mut engine = engine();
+        for p in 0..3 {
+            engine.on_detection(&detection(2.0, 100.0), p);
+        }
+        assert!(engine.is_engaged());
+        assert_eq!(engine.stats().exonerated_periods, 0);
+    }
+
+    fn strip_field(value: &mut serde::Value, field: &str) {
+        if let serde::Value::Map(fields) = value {
+            fields.retain(|(name, _)| name != field);
+        }
+    }
+
+    fn field_mut<'a>(value: &'a mut serde::Value, field: &str) -> &'a mut serde::Value {
+        let serde::Value::Map(fields) = value else {
+            panic!("not a map");
+        };
+        &mut fields
+            .iter_mut()
+            .find(|(name, _)| name == field)
+            .expect("field present")
+            .1
+    }
+
+    #[test]
+    fn version3_payloads_without_fingerprint_state_restore_with_defaults() {
+        // Build a mid-attack engine with fingerprint state engaged...
+        let mut engine =
+            engine_with(MitigationPolicy::paper_default().with_key_mode(KeyMode::Fingerprint));
+        for p in 0..3 {
+            engine.on_detection(&detection(2.0, 100.0), p);
+        }
+        for i in 0..40u64 {
+            engine.process(
+                &syn_at(i * 100, "10.5.0.2:6000", MacAddr::for_host(9, 9))
+                    .with_fp(tool_fp().to_bits()),
+            );
+        }
+        let state = engine.snapshot();
+        assert!(!state.syn_fps.is_empty());
+        assert!(!state.attack_fps.is_empty());
+        // ...then age its serialized form down to what a version-3 build
+        // wrote: no fingerprint tables, no window counters, no key-mode
+        // or exoneration knobs, no exoneration tally.
+        let mut value = state.to_value();
+        for field in [
+            "syn_fps",
+            "period_fps",
+            "attack_fps",
+            "window_syn",
+            "window_synack",
+        ] {
+            strip_field(&mut value, field);
+        }
+        for field in [
+            "key_mode",
+            "exoneration_entropy_bits",
+            "exoneration_synack_ratio",
+        ] {
+            strip_field(field_mut(&mut value, "policy"), field);
+        }
+        strip_field(field_mut(&mut value, "stats"), "exonerated_periods");
+        let aged = MitigationState::from_value(&value).expect("version-3 shape parses");
+        assert_eq!(
+            aged.policy.key_mode,
+            KeyMode::Mac,
+            "v3 engines keyed by MAC"
+        );
+        assert_eq!(
+            aged.policy.exoneration_entropy_bits,
+            MitigationPolicy::paper_default().exoneration_entropy_bits
+        );
+        assert!(
+            aged.syn_fps.is_empty() && aged.period_fps.is_empty() && aged.attack_fps.is_empty()
+        );
+        assert_eq!((aged.window_syn, aged.window_synack), (0, 0));
+        assert_eq!(aged.stats.exonerated_periods, 0);
+        // The aged state still rebuilds a working engine.
+        let restored = MitigationEngine::from_state(&aged).expect("valid state");
+        assert!(restored.is_engaged());
+        assert!(restored.fingerprints().is_empty());
     }
 }

@@ -42,6 +42,10 @@
 //! | `syndog_mitigation_throttled_syns_total` | counter | |
 //! | `syndog_mitigation_passed_syns_total` | counter | |
 //! | `syndog_mitigation_collateral_syns_total` | counter | |
+//! | `syndog_fingerprint_distinct` | gauge | |
+//! | `syndog_fingerprint_entropy_bits` | gauge | |
+//! | `syndog_fingerprint_attack_distinct` | gauge | |
+//! | `syndog_fingerprint_exonerations_total` | counter | |
 //!
 //! Fleet deployments register the per-agent and per-interface series via
 //! [`AgentTelemetry::with_labels`] with extra `stub="<cidr>"` and
@@ -473,6 +477,10 @@ pub struct MitigationTelemetry {
     throttled: Arc<Counter>,
     passed: Arc<Counter>,
     collateral: Arc<Counter>,
+    fp_distinct: Arc<Gauge>,
+    fp_entropy: Arc<Gauge>,
+    fp_attack_distinct: Arc<Gauge>,
+    fp_exonerations: Arc<Counter>,
     last: MitigationStats,
 }
 
@@ -494,6 +502,10 @@ impl MitigationTelemetry {
             throttled: registry.counter_with("syndog_mitigation_throttled_syns_total", labels),
             passed: registry.counter_with("syndog_mitigation_passed_syns_total", labels),
             collateral: registry.counter_with("syndog_mitigation_collateral_syns_total", labels),
+            fp_distinct: registry.gauge_with("syndog_fingerprint_distinct", labels),
+            fp_entropy: registry.gauge_with("syndog_fingerprint_entropy_bits", labels),
+            fp_attack_distinct: registry.gauge_with("syndog_fingerprint_attack_distinct", labels),
+            fp_exonerations: registry.counter_with("syndog_fingerprint_exonerations_total", labels),
             last: MitigationStats::default(),
         }
     }
@@ -513,6 +525,13 @@ impl MitigationTelemetry {
         self.passed.add(stats.passed_syns - self.last.passed_syns);
         self.collateral
             .add(stats.collateral_syns - self.last.collateral_syns);
+        self.fp_distinct
+            .set(engine.fingerprints().distinct() as f64);
+        self.fp_entropy.set(engine.fingerprints().entropy_bits());
+        self.fp_attack_distinct
+            .set(engine.locator().attack_fingerprints().distinct() as f64);
+        self.fp_exonerations
+            .add(stats.exonerated_periods - self.last.exonerated_periods);
         self.last = stats;
     }
 }

@@ -14,18 +14,20 @@
 //! `key = value` lines; blank lines and `#` comments are skipped:
 //!
 //! ```text
-//! detector = syndog      # syndog | syn-cusum | ewma | fin-pair
-//! threshold = 1.05       # the CUSUM decision threshold N
-//! mitigation = on        # on | off
+//! detector = syndog          # syndog | syn-cusum | ewma | fin-pair
+//! threshold = 1.05           # the CUSUM decision threshold N
+//! mitigation = on            # on | off
+//! throttle_key = fingerprint # mac | prefix | fingerprint
 //! ```
 //!
 //! Every key is optional; omitted keys keep their defaults (the paper's
-//! detector and threshold, mitigation off).
+//! detector and threshold, mitigation off, MAC throttle keys).
 
 use std::path::{Path, PathBuf};
 
 use syndog::{AnyDetector, DetectorKind, SynDogConfig};
 use syndog_router::checkpoint::crc32;
+use syndog_router::{KeyMode, MitigationPolicy};
 
 /// The hot-reloadable operator settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +38,8 @@ pub struct ServeConfig {
     pub threshold: f64,
     /// Whether source-end mitigation is armed.
     pub mitigation: bool,
+    /// Which key family the mitigation engine throttles under.
+    pub throttle_key: KeyMode,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +48,7 @@ impl Default for ServeConfig {
             detector: DetectorKind::Syndog,
             threshold: SynDogConfig::paper_default().threshold,
             mitigation: false,
+            throttle_key: KeyMode::Mac,
         }
     }
 }
@@ -90,6 +95,9 @@ impl ServeConfig {
                         }
                     };
                 }
+                "throttle_key" => {
+                    config.throttle_key = value.parse().map_err(|why: String| at(why))?;
+                }
                 other => return Err(at(format!("unknown key `{other}`"))),
             }
         }
@@ -99,10 +107,11 @@ impl ServeConfig {
     /// Renders the config in its own file format.
     pub fn render(&self) -> String {
         format!(
-            "detector = {}\nthreshold = {}\nmitigation = {}\n",
+            "detector = {}\nthreshold = {}\nmitigation = {}\nthrottle_key = {}\n",
             self.detector.name(),
             self.threshold,
             if self.mitigation { "on" } else { "off" },
+            self.throttle_key,
         )
     }
 
@@ -111,6 +120,12 @@ impl ServeConfig {
     pub fn build_detector(&self) -> AnyDetector {
         self.detector
             .build(SynDogConfig::paper_default().with_threshold(self.threshold))
+    }
+
+    /// Builds the mitigation policy these settings describe (paper
+    /// defaults under the configured throttle-key family).
+    pub fn build_policy(&self) -> MitigationPolicy {
+        MitigationPolicy::paper_default().with_key_mode(self.throttle_key)
     }
 }
 
@@ -190,17 +205,21 @@ mod tests {
 
     #[test]
     fn parse_and_render_round_trip() {
-        let text = "detector = ewma\nthreshold = 2.5\nmitigation = on\n";
+        let text =
+            "detector = ewma\nthreshold = 2.5\nmitigation = on\nthrottle_key = fingerprint\n";
         let config = ServeConfig::parse(text).unwrap();
         assert_eq!(config.detector, DetectorKind::Ewma);
         assert_eq!(config.threshold, 2.5);
         assert!(config.mitigation);
+        assert_eq!(config.throttle_key, KeyMode::Fingerprint);
+        assert_eq!(config.build_policy().key_mode, KeyMode::Fingerprint);
         assert_eq!(ServeConfig::parse(&config.render()).unwrap(), config);
         // Comments, blanks and partial files are fine.
         let partial = ServeConfig::parse("# note\n\nthreshold = 3.0\n").unwrap();
         assert_eq!(partial.detector, DetectorKind::Syndog);
         assert_eq!(partial.threshold, 3.0);
         assert!(!partial.mitigation);
+        assert_eq!(partial.throttle_key, KeyMode::Mac, "default keys by MAC");
     }
 
     #[test]
@@ -210,6 +229,7 @@ mod tests {
             ("threshold = -1", "must be positive"),
             ("threshold = n", "bad threshold"),
             ("mitigation = maybe", "on/off"),
+            ("throttle_key = magic", "unknown throttle key"),
             ("cheese = brie", "unknown key"),
             ("threshold", "key = value"),
         ] {

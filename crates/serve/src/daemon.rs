@@ -31,7 +31,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use syndog_router::{Checkpoint, CheckpointError, MitigationPolicy, SynDogAgent};
+use syndog_router::{Checkpoint, CheckpointError, SynDogAgent};
 use syndog_sim::{SimDuration, SimTime};
 use syndog_telemetry::Telemetry;
 
@@ -130,7 +130,7 @@ impl ServeDaemon {
             .map(|stub| {
                 let mut agent = SynDogAgent::with_detector(stub.stub, spec.config.build_detector());
                 if spec.config.mitigation {
-                    agent.set_mitigation(MitigationPolicy::paper_default());
+                    agent.set_mitigation(spec.config.build_policy());
                 }
                 Hosted {
                     agent,
@@ -215,6 +215,11 @@ impl ServeDaemon {
             detector: lead.detector().kind(),
             threshold: lead.detector().config().threshold,
             mitigation: lead.mitigation().is_some(),
+            throttle_key: lead
+                .mitigation()
+                .map_or(syndog_router::KeyMode::Mac, |engine| {
+                    engine.policy().key_mode
+                }),
         };
         let spec = ServeSpec { config, ..spec };
         let mut daemon = Self::assemble(spec, hosted, next_window, true)?;
@@ -365,9 +370,7 @@ impl ServeDaemon {
                 hosted.agent.replace_detector(config.build_detector());
             }
             match (config.mitigation, hosted.agent.mitigation().is_some()) {
-                (true, false) => hosted
-                    .agent
-                    .set_mitigation(MitigationPolicy::paper_default()),
+                (true, false) => hosted.agent.set_mitigation(config.build_policy()),
                 (false, true) => hosted.agent.clear_mitigation(),
                 _ => {}
             }

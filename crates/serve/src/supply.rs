@@ -20,7 +20,7 @@ use std::net::SocketAddrV4;
 
 use syndog_net::SegmentKind;
 use syndog_sim::{SimDuration, SimRng, SimTime};
-use syndog_traffic::load::attack_mac;
+use syndog_traffic::load::{attack_fingerprint, attack_mac};
 use syndog_traffic::trace::{Direction, Trace, TraceRecord};
 use syndog_traffic::{LoadPlan, SiteProfile};
 
@@ -203,7 +203,8 @@ impl RecordSupply for FloodOverlay {
                             spoofed,
                             self.target,
                         )
-                        .with_mac(attack_mac()),
+                        .with_mac(attack_mac())
+                        .with_fp(attack_fingerprint().to_bits()),
                     );
                 }
                 i += 1;

@@ -71,6 +71,7 @@ fn spec(checkpoint_dir: &Path, config_path: &Path) -> ServeSpec {
             detector: DetectorKind::Syndog,
             threshold: 1.05,
             mitigation: true,
+            throttle_key: syndog_router::KeyMode::Mac,
         },
         config_path: Some(config_path.to_path_buf()),
         checkpoint_dir: Some(checkpoint_dir.to_path_buf()),
@@ -208,6 +209,87 @@ fn four_sim_hours_with_flood_kill_resume_and_hot_reload() {
         assert_eq!(resumed_stub.alarms_total, control_stub.alarms_total);
         assert_eq!(resumed_stub.periods_closed, control_stub.periods_closed);
     }
+
+    std::fs::remove_dir_all(&ck_dir).ok();
+    std::fs::remove_dir_all(&control_dir).ok();
+}
+
+/// Fingerprint-keyed throttling rides the version-4 checkpoint through a
+/// kill → resume cycle: the engaged `fp:` throttle survives the restore,
+/// and the resumed daemon's next checkpoint generation is *byte-identical*
+/// to one written by a never-killed control run — the fingerprint tables,
+/// exoneration window, and key-mode knob all round-trip exactly.
+#[test]
+fn fingerprint_throttles_survive_kill_resume_byte_identically() {
+    let read_generation = |dir: &Path, seq: u64| -> Vec<(String, Vec<u8>)> {
+        let prefix = format!("ck-{seq:08}");
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .starts_with(&prefix)
+            })
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().to_string(),
+                    std::fs::read(&p).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    let fp_spec = |dir: &Path, config: &Path| {
+        let mut spec = spec(dir, config);
+        spec.config.throttle_key = syndog_router::KeyMode::Fingerprint;
+        spec
+    };
+    const END_AT: u64 = 225; // past the flood pulse's start at period 150
+
+    let ck_dir = temp_dir("fp-ck");
+    let config_path = ck_dir.join("serve.conf");
+    let seed = 42;
+    let mut daemon = ServeDaemon::new(fp_spec(&ck_dir, &config_path), stubs(seed)).unwrap();
+    daemon.run_for(KILL_AT);
+    let pre_kill = daemon.snapshot();
+    assert!(
+        pre_kill.stubs[0]
+            .throttle_keys
+            .iter()
+            .any(|key| key.starts_with("fp:")),
+        "mid-flood the throttle is keyed on the tool fingerprint: {:?}",
+        pre_kill.stubs[0].throttle_keys
+    );
+    drop(daemon); // kill without shutdown
+
+    let mut resumed =
+        ServeDaemon::resume_latest(fp_spec(&ck_dir, &config_path), stubs(seed)).unwrap();
+    assert!(resumed.resumed());
+    let restored = resumed.snapshot();
+    assert_eq!(
+        restored.stubs[0].throttle_keys, pre_kill.stubs[0].throttle_keys,
+        "the fp-keyed throttle survives the restore"
+    );
+    resumed.run_for(END_AT - KILL_AT);
+
+    // A never-killed control run writes the same generations.
+    let control_dir = temp_dir("fp-control-ck");
+    let control_config = control_dir.join("serve.conf");
+    let mut control =
+        ServeDaemon::new(fp_spec(&control_dir, &control_config), stubs(seed)).unwrap();
+    control.run_for(END_AT);
+
+    let last_seq = END_AT / CHECKPOINT_INTERVAL - 1;
+    let resumed_gen = read_generation(&ck_dir, last_seq);
+    let control_gen = read_generation(&control_dir, last_seq);
+    assert_eq!(resumed_gen.len(), 2, "one file per stub");
+    assert_eq!(
+        resumed_gen, control_gen,
+        "resumed checkpoints must be byte-identical to the control's"
+    );
 
     std::fs::remove_dir_all(&ck_dir).ok();
     std::fs::remove_dir_all(&control_dir).ok();

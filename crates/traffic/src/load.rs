@@ -35,6 +35,7 @@
 
 use std::net::SocketAddrV4;
 
+use syndog_fingerprint::{FingerprintKey, QUIRK_SEQ_ZERO};
 use syndog_net::MacAddr;
 use syndog_sim::{SimDuration, SimRng, SimTime};
 
@@ -45,6 +46,13 @@ use crate::trace::{Direction, TraceRecord};
 /// flooding tool inside the stub would present.
 pub fn attack_mac() -> MacAddr {
     MacAddr::for_host(0xffff, 0xdead)
+}
+
+/// The SYN fingerprint the plan's attack SYNs carry — one raw-socket
+/// tool template (fixed TTL/window, optionless, zeroed sequence), in
+/// contrast to the benign stream's per-host OS-stack mix.
+pub fn attack_fingerprint() -> FingerprintKey {
+    FingerprintKey::new(255, 512, 0, 0, QUIRK_SEQ_ZERO)
 }
 
 /// One phase of a [`LoadPlan`]: a duration plus linear ramps for the
@@ -238,7 +246,8 @@ impl LoadPlan {
                         spoofed,
                         self.attack_target,
                     )
-                    .with_mac(attack_mac()),
+                    .with_mac(attack_mac())
+                    .with_fp(attack_fingerprint().to_bits()),
                 );
             }
         }

@@ -318,6 +318,10 @@ impl SiteProfile {
             );
             let outside = SocketAddrV4::new(external_server(rng), 80);
             let mac = MacAddr::for_host(self.site_id, host_index);
+            // Each stub host runs one operating system; its SYNs carry that
+            // OS's constant fingerprint, so the site-level mix shows the
+            // weighted OS distribution (high entropy — unlike a flood).
+            let host_fp = syndog_fingerprint::os_mix::for_host(self.site_id, host_index).to_bits();
             simulate_handshake(start, &self.conn, rng, |time, direction, kind| {
                 // For inbound-initiated connections every direction flips:
                 // the SYN arrives inbound, the SYN/ACK leaves outbound.
@@ -336,6 +340,11 @@ impl SiteProfile {
                         }
                     }
                 };
+                let fp = if kind == SegmentKind::Syn && direction == Direction::Outbound {
+                    host_fp
+                } else {
+                    0
+                };
                 trace.push(TraceRecord {
                     time,
                     direction,
@@ -343,6 +352,7 @@ impl SiteProfile {
                     src,
                     dst,
                     src_mac,
+                    fp,
                 });
             });
         }
@@ -364,7 +374,10 @@ impl SiteProfile {
                         scanner,
                         SocketAddrV4::new(external_server(rng), 80),
                     )
-                    .with_mac(mac),
+                    .with_mac(mac)
+                    .with_fp(
+                        syndog_fingerprint::os_mix::for_host(self.site_id, host_index).to_bits(),
+                    ),
                 );
             }
         }

@@ -64,6 +64,11 @@ pub struct TraceRecord {
     /// Source MAC address as seen on the stub-network side; meaningful for
     /// outbound segments (used by §4.2.3 source localization).
     pub src_mac: MacAddr,
+    /// Packed SYN fingerprint
+    /// ([`FingerprintKey::to_bits`](syndog_fingerprint::FingerprintKey)),
+    /// or 0 when the segment is not a SYN / carries no fingerprint (e.g. a
+    /// v1 binary trace). Only meaningful on `SegmentKind::Syn` records.
+    pub fp: u64,
 }
 
 impl TraceRecord {
@@ -82,12 +87,19 @@ impl TraceRecord {
             src,
             dst,
             src_mac: MacAddr::ZERO,
+            fp: 0,
         }
     }
 
     /// Returns a copy with the source MAC set.
     pub fn with_mac(mut self, mac: MacAddr) -> Self {
         self.src_mac = mac;
+        self
+    }
+
+    /// Returns a copy with the packed SYN fingerprint set.
+    pub fn with_fp(mut self, fp: u64) -> Self {
+        self.fp = fp;
         self
     }
 }
@@ -168,6 +180,11 @@ impl From<NetError> for TraceError {
 
 /// Magic number of the binary trace format (`"SDTR"` big-endian).
 const TRACE_MAGIC: u32 = 0x5344_5452;
+
+/// Current binary trace format version. v1 records are 28 bytes; v2
+/// appends the 8-byte packed SYN fingerprint. v1 streams still read (with
+/// `fp = 0`), so pre-fingerprint trace files stay loadable.
+const TRACE_VERSION: u16 = 2;
 
 fn kind_to_byte(kind: SegmentKind) -> u8 {
     match kind {
@@ -320,7 +337,7 @@ impl Trace {
     /// Propagates I/O errors from `writer`.
     pub fn write_binary<W: Write>(&self, mut writer: W) -> Result<(), TraceError> {
         writer.write_all(&TRACE_MAGIC.to_be_bytes())?;
-        writer.write_all(&1u16.to_be_bytes())?; // format version
+        writer.write_all(&TRACE_VERSION.to_be_bytes())?;
         writer.write_all(&self.duration.as_micros().to_be_bytes())?;
         writer.write_all(&(self.records.len() as u64).to_be_bytes())?;
         for r in &self.records {
@@ -337,6 +354,7 @@ impl Trace {
             writer.write_all(&r.dst.ip().octets())?;
             writer.write_all(&r.dst.port().to_be_bytes())?;
             writer.write_all(&r.src_mac.octets())?;
+            writer.write_all(&r.fp.to_be_bytes())?;
         }
         Ok(())
     }
@@ -357,6 +375,10 @@ impl Trace {
         if magic != TRACE_MAGIC {
             return Err(TraceError::BadMagic(magic));
         }
+        let version = u16::from_be_bytes([head[4], head[5]]);
+        if version == 0 || version > TRACE_VERSION {
+            return Err(TraceError::InvalidRecord("format version"));
+        }
         let duration = SimDuration::from_micros(u64::from_be_bytes(
             head[6..14].try_into().expect("fixed slice"),
         ));
@@ -365,10 +387,12 @@ impl Trace {
             return Err(TraceError::InvalidRecord("record count"));
         }
         let mut records = Vec::with_capacity(count as usize);
-        let mut rec = [0u8; 8 + 2 + 6 + 6 + 6];
+        // v1 records stop after the MAC; v2 appends the 8-byte fingerprint.
+        let rec_len = if version == 1 { 28 } else { 36 };
+        let mut rec = [0u8; 36];
         for _ in 0..count {
             reader
-                .read_exact(&mut rec)
+                .read_exact(&mut rec[..rec_len])
                 .map_err(|_| TraceError::Truncated)?;
             let time = SimTime::from_micros(u64::from_be_bytes(
                 rec[0..8].try_into().expect("fixed slice"),
@@ -389,6 +413,11 @@ impl Trace {
             );
             let mut mac = [0u8; 6];
             mac.copy_from_slice(&rec[22..28]);
+            let fp = if version >= 2 {
+                u64::from_be_bytes(rec[28..36].try_into().expect("fixed slice"))
+            } else {
+                0
+            };
             records.push(TraceRecord {
                 time,
                 direction,
@@ -396,6 +425,7 @@ impl Trace {
                 src,
                 dst,
                 src_mac: MacAddr::new(mac),
+                fp,
             });
         }
         Ok(Trace { records, duration })
@@ -429,6 +459,18 @@ impl Trace {
         if r.kind == SegmentKind::NonTcp {
             PacketBuilder::non_tcp(*r.src.ip(), *r.dst.ip(), syndog_net::ipv4::PROTO_UDP)
                 .src_mac(r.src_mac)
+                .build()
+        } else if r.kind == SegmentKind::Syn && r.fp != 0 {
+            // Shape the SYN's headers so re-extraction (pcap import, the
+            // batched classifier's sink) recovers the record's fingerprint.
+            // The nonzero default seq keeps the SEQ_ZERO quirk under the
+            // key's control.
+            syndog_fingerprint::FingerprintKey::from_bits(r.fp)
+                .apply(
+                    PacketBuilder::tcp(r.src, r.dst, flags)
+                        .src_mac(r.src_mac)
+                        .seq(1),
+                )
                 .build()
         } else {
             PacketBuilder::tcp(r.src, r.dst, flags)
@@ -535,6 +577,11 @@ impl Trace {
                 u64::from(packet.ts_sec) * 1_000_000 + u64::from(packet.ts_nanos) / 1000,
             );
             max_time = max_time.max(time.saturating_since(SimTime::ZERO));
+            let fp = if kind == SegmentKind::Syn {
+                syndog_fingerprint::extract_syn(&packet.data).map_or(0, |key| key.to_bits())
+            } else {
+                0
+            };
             records.push(TraceRecord {
                 time,
                 direction,
@@ -542,6 +589,7 @@ impl Trace {
                 src,
                 dst,
                 src_mac: decoded.ethernet.src,
+                fp,
             });
         }
         Ok(Trace::from_records(
@@ -763,6 +811,67 @@ mod tests {
         t.write_pcap(&mut file).unwrap();
         let restored = Trace::read_pcap(file.as_slice(), "10.1.0.0/16".parse().unwrap()).unwrap();
         assert_eq!(restored.records()[0].src_mac, mac);
+    }
+
+    #[test]
+    fn fingerprint_survives_binary_and_pcap() {
+        let fp = syndog_fingerprint::os_mix::windows().to_bits();
+        let t = Trace::from_records(
+            vec![
+                rec(0.5, Direction::Outbound, SegmentKind::Syn)
+                    .with_mac(MacAddr::for_host(1, 3))
+                    .with_fp(fp),
+                rec(0.6, Direction::Inbound, SegmentKind::SynAck),
+            ],
+            SimDuration::from_secs(1),
+        );
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        let restored = Trace::read_binary(buf.as_slice()).unwrap();
+        assert_eq!(restored, t);
+        assert_eq!(restored.records()[0].fp, fp);
+        // pcap export synthesizes the fingerprint into the SYN's headers;
+        // import re-extracts the identical key.
+        let mut file = Vec::new();
+        t.write_pcap(&mut file).unwrap();
+        let reread = Trace::read_pcap(file.as_slice(), "10.1.0.0/16".parse().unwrap()).unwrap();
+        assert_eq!(reread.records()[0].fp, fp);
+        assert_eq!(reread.records()[1].fp, 0);
+    }
+
+    #[test]
+    fn v1_binary_traces_read_with_zero_fingerprints() {
+        // Hand-assemble a version-1 stream: same header, 28-byte records
+        // without the fingerprint word.
+        let t = sample_trace();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&TRACE_MAGIC.to_be_bytes());
+        v1.extend_from_slice(&1u16.to_be_bytes());
+        v1.extend_from_slice(&t.duration().as_micros().to_be_bytes());
+        v1.extend_from_slice(&(t.len() as u64).to_be_bytes());
+        for r in t.records() {
+            v1.extend_from_slice(&r.time.as_micros().to_be_bytes());
+            v1.push(match r.direction {
+                Direction::Inbound => 0,
+                Direction::Outbound => 1,
+            });
+            v1.push(kind_to_byte(r.kind));
+            v1.extend_from_slice(&r.src.ip().octets());
+            v1.extend_from_slice(&r.src.port().to_be_bytes());
+            v1.extend_from_slice(&r.dst.ip().octets());
+            v1.extend_from_slice(&r.dst.port().to_be_bytes());
+            v1.extend_from_slice(&r.src_mac.octets());
+        }
+        let restored = Trace::read_binary(v1.as_slice()).unwrap();
+        assert_eq!(restored, t);
+        assert!(restored.records().iter().all(|r| r.fp == 0));
+        // Unknown future versions are rejected, not misparsed.
+        let mut v9 = v1.clone();
+        v9[4..6].copy_from_slice(&9u16.to_be_bytes());
+        assert!(matches!(
+            Trace::read_binary(v9.as_slice()),
+            Err(TraceError::InvalidRecord("format version"))
+        ));
     }
 
     #[test]
